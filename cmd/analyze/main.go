@@ -1,0 +1,147 @@
+// Command analyze regenerates the paper's tables and figures from a
+// synthetic lab (or from previously collected snapshot files).
+//
+// Usage:
+//
+//	analyze [-exp all|table1|fig1|...|sanitation] [-scale 0.05] [-seed 42]
+//	        [-ixps IX.br-SP,DE-CIX,LINX,AMS-IX | all] [-snapshots dir]
+//
+// Without -snapshots it generates the calibrated synthetic workload;
+// with -snapshots it loads stored snapshot files for the latest date
+// per IXP instead.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"ixplight/internal/collector"
+	"ixplight/internal/ixpgen"
+	"ixplight/internal/mrt"
+	"ixplight/internal/report"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (all, "+strings.Join(report.ExperimentNames, ", ")+")")
+	scale := flag.Float64("scale", 0.05, "workload scale relative to the paper's magnitudes")
+	seed := flag.Int64("seed", 42, "generation seed")
+	ixps := flag.String("ixps", "big4", "comma-separated IXP names, 'big4' or 'all'")
+	snapshotDir := flag.String("snapshots", "", "load snapshots from this directory instead of generating")
+	outDir := flag.String("out", "", "also write each experiment's output to <out>/<name>.txt")
+	flag.Parse()
+
+	profiles, err := selectProfiles(*ixps)
+	if err != nil {
+		fatal(err)
+	}
+	lab, err := report.NewLab(profiles, *seed, *scale)
+	if err != nil {
+		fatal(err)
+	}
+	if *snapshotDir != "" {
+		if err := loadSnapshots(lab, *snapshotDir); err != nil {
+			fatal(err)
+		}
+	}
+
+	names := report.ExperimentNames
+	if *exp != "all" {
+		names = strings.Split(*exp, ",")
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		out := io.Writer(os.Stdout)
+		var f *os.File
+		if *outDir != "" {
+			var err error
+			f, err = os.Create(filepath.Join(*outDir, name+".txt"))
+			if err != nil {
+				fatal(err)
+			}
+			out = io.MultiWriter(os.Stdout, f)
+		}
+		err := lab.Run(out, name)
+		if f != nil {
+			f.Close()
+		}
+		if err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func selectProfiles(spec string) ([]ixpgen.Profile, error) {
+	switch spec {
+	case "big4":
+		return ixpgen.BigFour(), nil
+	case "all":
+		return ixpgen.Profiles(), nil
+	}
+	var out []ixpgen.Profile
+	for _, name := range strings.Split(spec, ",") {
+		p := ixpgen.ProfileByName(strings.TrimSpace(name))
+		if p == nil {
+			return nil, fmt.Errorf("unknown IXP %q", name)
+		}
+		out = append(out, *p)
+	}
+	return out, nil
+}
+
+// loadSnapshots replaces the lab's generated snapshots with the stored
+// files: the full date-ordered series per IXP feeds the temporal
+// experiments, the latest snapshot the point-in-time ones. Both the
+// native snapshot codecs and MRT TABLE_DUMP_V2 archives (.mrt) are
+// accepted.
+func loadSnapshots(lab *report.Lab, dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	lab.Series = make(map[string][]*collector.Snapshot)
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		var snap *collector.Snapshot
+		if strings.HasSuffix(e.Name(), ".mrt") {
+			snap, err = loadMRT(path)
+		} else {
+			snap, err = collector.LoadSnapshot(path)
+		}
+		if err != nil {
+			return fmt.Errorf("load %s: %w", e.Name(), err)
+		}
+		lab.Series[snap.IXP] = append(lab.Series[snap.IXP], snap)
+	}
+	for ixp, series := range lab.Series {
+		sort.Slice(series, func(i, j int) bool { return series[i].Date < series[j].Date })
+		lab.Snapshots[ixp] = series[len(series)-1]
+	}
+	return nil
+}
+
+func loadMRT(path string) (*collector.Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return mrt.ReadRIB(f)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "analyze:", err)
+	os.Exit(1)
+}

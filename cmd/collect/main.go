@@ -1,0 +1,101 @@
+// Command collect crawls a looking glass into a snapshot file — the
+// §3 collection step.
+//
+// Usage:
+//
+//	collect -url http://localhost:8080 [-date 2021-10-04] [-out ./data]
+//	        [-codec json|json.gz|gob|gob.gz] [-interval 100ms] [-retries 5]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"ixplight/internal/collector"
+	"ixplight/internal/lg"
+	"ixplight/internal/mrt"
+)
+
+func main() {
+	url := flag.String("url", "http://localhost:8080", "looking glass base URL")
+	date := flag.String("date", time.Now().UTC().Format("2006-01-02"), "snapshot date stamp")
+	out := flag.String("out", "./data", "output directory")
+	codecName := flag.String("codec", "json.gz", "snapshot codec: json, json.gz, gob, gob.gz, mrt")
+	interval := flag.Duration("interval", 50*time.Millisecond, "minimum delay between LG requests")
+	retries := flag.Int("retries", 5, "retries per failed request")
+	timeout := flag.Duration("timeout", 10*time.Minute, "overall collection deadline")
+	flag.Parse()
+
+	asMRT := *codecName == "mrt"
+	var codec collector.Codec
+	if !asMRT {
+		var err error
+		codec, err = parseCodec(*codecName)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	client := lg.NewClient(*url, lg.ClientOptions{
+		MinInterval:  *interval,
+		MaxRetries:   *retries,
+		RetryBackoff: 100 * time.Millisecond,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	start := time.Now()
+	snap, err := collector.Collect(ctx, client, *date)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var path string
+	if asMRT {
+		path, err = saveMRT(*out, snap)
+	} else {
+		path, err = collector.SaveSnapshot(*out, snap, codec)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("collected %s: %d members, %d routes, %d filtered (%d requests, %v) → %s",
+		snap.IXP, len(snap.Members), len(snap.Routes), snap.FilteredCount,
+		client.Requests, time.Since(start).Round(time.Millisecond), path)
+}
+
+// saveMRT writes the snapshot as a RouteViews-style TABLE_DUMP_V2
+// archive.
+func saveMRT(dir string, snap *collector.Snapshot) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, fmt.Sprintf("%s-%s.mrt", snap.IXP, snap.Date))
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	if err := mrt.WriteRIB(f, snap); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+func parseCodec(name string) (collector.Codec, error) {
+	switch name {
+	case "json":
+		return collector.CodecJSON, nil
+	case "json.gz":
+		return collector.CodecJSONGzip, nil
+	case "gob":
+		return collector.CodecGob, nil
+	case "gob.gz":
+		return collector.CodecGobGzip, nil
+	default:
+		return 0, fmt.Errorf("unknown codec %q", name)
+	}
+}

@@ -1,0 +1,93 @@
+// Command communities is the dictionary tool: it classifies community
+// values under an IXP's scheme or dumps the scheme's dictionary.
+//
+// Usage:
+//
+//	communities -ixp DE-CIX 0:15169 6695:6695 65535:666
+//	communities -ixp LINX -dump
+//	communities -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"ixplight/internal/asdb"
+	"ixplight/internal/bgp"
+	"ixplight/internal/dictionary"
+)
+
+func main() {
+	ixp := flag.String("ixp", "DE-CIX", "IXP scheme to classify under")
+	dump := flag.Bool("dump", false, "dump the IXP's full dictionary")
+	list := flag.Bool("list", false, "list the known IXPs and their dictionary sizes")
+	flag.Parse()
+
+	if *list {
+		listIXPs()
+		return
+	}
+	scheme := dictionary.ProfileByName(*ixp)
+	if scheme == nil {
+		log.Fatalf("unknown IXP %q (try -list)", *ixp)
+	}
+	if *dump {
+		dumpDictionary(scheme)
+		return
+	}
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: communities [-ixp NAME] <asn:value>... | -dump | -list")
+		os.Exit(2)
+	}
+	classify(scheme, flag.Args())
+}
+
+func listIXPs() {
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "IXP\tRS ASN\tdictionary entries\tprepend\tblackhole")
+	for _, s := range dictionary.Profiles() {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%v\t%v\n",
+			s.IXP, s.RSASN, len(s.Entries()), s.SupportsPrepend, s.SupportsBlackhole)
+	}
+	tw.Flush()
+}
+
+func dumpDictionary(scheme *dictionary.Scheme) {
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	for _, e := range scheme.Entries() {
+		fmt.Fprintf(tw, "%s\t%s\t%s\n", e.Community, e.Action, e.Description)
+	}
+	tw.Flush()
+}
+
+func classify(scheme *dictionary.Scheme, args []string) {
+	reg := asdb.Default()
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "community\tknown\tclass\ttarget")
+	for _, arg := range args {
+		c, err := bgp.ParseCommunity(arg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cl := scheme.Classify(c)
+		target := ""
+		switch cl.Target {
+		case dictionary.TargetAll:
+			target = "all peers"
+		case dictionary.TargetPeer:
+			target = reg.Name(cl.TargetASN)
+		}
+		if cl.Action == dictionary.PrependTo {
+			target = fmt.Sprintf("%s (%dx)", target, cl.PrependCount)
+		}
+		class := "unknown"
+		if cl.Known {
+			class = cl.Action.String()
+		}
+		fmt.Fprintf(tw, "%s\t%v\t%s\t%s\n", c, cl.Known, class, target)
+	}
+	tw.Flush()
+}

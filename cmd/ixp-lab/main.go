@@ -1,0 +1,100 @@
+// Command ixp-lab runs the complete paper pipeline end-to-end, in
+// process: generate a calibrated IXP → populate the route server →
+// expose the looking glass over HTTP → crawl it with the collector →
+// run every analysis on the collected snapshot. The difference between
+// "fast path" (direct snapshot) and "full path" (LG crawl) results is
+// reported — they must agree.
+//
+// Usage:
+//
+//	ixp-lab [-ixp DE-CIX] [-scale 0.02] [-seed 42] [-flaky 0.05]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"time"
+
+	"ixplight/internal/analysis"
+	"ixplight/internal/asdb"
+	"ixplight/internal/collector"
+	"ixplight/internal/ixpgen"
+	"ixplight/internal/lg"
+	"ixplight/internal/report"
+	"ixplight/internal/rs"
+)
+
+func main() {
+	ixp := flag.String("ixp", "DE-CIX", "IXP profile to simulate")
+	scale := flag.Float64("scale", 0.02, "workload scale")
+	seed := flag.Int64("seed", 42, "generation seed")
+	flaky := flag.Float64("flaky", 0.05, "injected LG failure rate the collector must survive")
+	flag.Parse()
+
+	profile := ixpgen.ProfileByName(*ixp)
+	if profile == nil {
+		log.Fatalf("unknown IXP %q", *ixp)
+	}
+
+	// 1. Generate the calibrated member population and announcements.
+	start := time.Now()
+	w, err := ixpgen.Generate(*profile, ixpgen.Options{Seed: *seed, Scale: *scale})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("generated %s: %d members, %d routes (%v)",
+		profile.IXP, len(w.Members), len(w.Routes), time.Since(start).Round(time.Millisecond))
+
+	// 2. Run everything through the route server's import pipeline.
+	server, err := rs.New(rs.Config{Scheme: profile.Scheme, MaxPathLen: 64, ScrubActions: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := w.Populate(server); err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Serve the looking glass (with injected flakiness) and crawl it.
+	var handler http.Handler = lg.NewServer(server)
+	if *flaky > 0 {
+		handler = lg.Flaky(handler, lg.FlakyOptions{ErrorRate: *flaky, Seed: *seed})
+	}
+	ts := httptest.NewServer(handler)
+	defer ts.Close()
+	client := lg.NewClient(ts.URL, lg.ClientOptions{MaxRetries: 20, RetryBackoff: 5 * time.Millisecond})
+	collected, err := collector.Collect(context.Background(), client, "2021-10-04")
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("collected via LG: %d members, %d routes in %d requests",
+		len(collected.Members), len(collected.Routes), client.Requests)
+
+	// 4. The direct snapshot and the crawled one must agree.
+	direct := w.Snapshot("2021-10-04")
+	for _, v6 := range []bool{false, true} {
+		a, b := analysis.CountSnapshot(direct, v6), analysis.CountSnapshot(collected, v6)
+		if a != b {
+			log.Fatalf("fast path and LG path disagree (v6=%v): %+v vs %+v", v6, a, b)
+		}
+	}
+	fmt.Println("fast path and LG crawl agree on members, prefixes, routes and communities ✓")
+
+	// 5. Run the full analysis suite on the collected snapshot.
+	lab := &report.Lab{
+		Profiles:  []ixpgen.Profile{*profile},
+		Snapshots: map[string]*collector.Snapshot{profile.IXP: collected},
+		Registry:  asdb.Default(),
+		Seed:      *seed,
+		Scale:     *scale,
+	}
+	for _, exp := range []string{"table1", "fig1", "fig2", "fig3", "fig4a", "fig4b", "table2", "sec53", "fig5", "fig6", "fig7"} {
+		if err := lab.Run(os.Stdout, exp); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,179 @@
+// Command ixpgen materialises the paper's released artifact: a
+// twelve-week dataset of daily snapshots for the selected IXPs, plus
+// the combined communities dictionary, written as files that
+// cmd/analyze -snapshots can consume.
+//
+// Usage:
+//
+//	ixpgen [-out ./dataset] [-ixps big4|all|NAME,...] [-days 84]
+//	       [-scale 0.02] [-seed 42] [-codec json.gz] [-valleys 9,41]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"ixplight/internal/collector"
+	"ixplight/internal/dictionary"
+	"ixplight/internal/ixpgen"
+)
+
+func main() {
+	out := flag.String("out", "./dataset", "output directory")
+	ixps := flag.String("ixps", "big4", "comma-separated IXP names, 'big4' or 'all'")
+	days := flag.Int("days", 84, "number of daily snapshots (84 = twelve weeks)")
+	scale := flag.Float64("scale", 0.02, "workload scale")
+	seed := flag.Int64("seed", 42, "generation seed")
+	codecName := flag.String("codec", "json.gz", "snapshot codec: json, json.gz, gob, gob.gz")
+	valleySpec := flag.String("valleys", "", "comma-separated day offsets with injected collection failures")
+	profilePath := flag.String("profile", "", "JSON file with a custom IXP profile (overrides -ixps)")
+	flag.Parse()
+
+	var profiles []ixpgen.Profile
+	var err error
+	if *profilePath != "" {
+		custom, err := ixpgen.LoadProfile(*profilePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		profiles = []ixpgen.Profile{*custom}
+	} else {
+		profiles, err = selectProfiles(*ixps)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	codec, err := parseCodec(*codecName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	valleys, err := parseValleys(*valleySpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	start := time.Now()
+	files := 0
+	for _, p := range profiles {
+		opts := ixpgen.TemporalOptions{
+			Seed: *seed, Scale: *scale, Days: *days, ValleyDays: valleys,
+		}
+		dir := filepath.Join(*out, "snapshots")
+		for d := 0; d < *days; d++ {
+			w, date, err := ixpgen.GenerateDay(p, opts, d)
+			if err != nil {
+				log.Fatal(err)
+			}
+			snap := w.Snapshot(date)
+			if _, err := collector.SaveSnapshot(dir, snap, codec); err != nil {
+				log.Fatal(err)
+			}
+			files++
+		}
+		log.Printf("%s: %d daily snapshots", p.IXP, *days)
+	}
+
+	if err := writeDictionary(*out); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("dataset complete: %d snapshot files + dictionary.json in %s (%v)",
+		files, *out, time.Since(start).Round(time.Millisecond))
+}
+
+// writeDictionary dumps the combined per-IXP community dictionary —
+// the "dictionary containing more than 3000 communities" the paper
+// releases alongside the snapshots.
+func writeDictionary(out string) error {
+	type entry struct {
+		IXP         string `json:"ixp"`
+		Community   string `json:"community"`
+		Class       string `json:"class"`
+		Target      string `json:"target,omitempty"`
+		Description string `json:"description"`
+	}
+	var entries []entry
+	for _, s := range dictionary.Profiles() {
+		for _, e := range s.Entries() {
+			row := entry{
+				IXP:         s.IXP,
+				Community:   e.Community.String(),
+				Class:       e.Action.String(),
+				Description: e.Description,
+			}
+			switch e.Target {
+			case dictionary.TargetAll:
+				row.Target = "all"
+			case dictionary.TargetPeer:
+				row.Target = fmt.Sprintf("AS%d", e.TargetASN)
+			}
+			entries = append(entries, row)
+		}
+	}
+	f, err := os.Create(filepath.Join(out, "dictionary.json"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(entries); err != nil {
+		return err
+	}
+	log.Printf("dictionary.json: %d entries", len(entries))
+	return nil
+}
+
+func selectProfiles(spec string) ([]ixpgen.Profile, error) {
+	switch spec {
+	case "big4":
+		return ixpgen.BigFour(), nil
+	case "all":
+		return ixpgen.Profiles(), nil
+	}
+	var out []ixpgen.Profile
+	for _, name := range strings.Split(spec, ",") {
+		p := ixpgen.ProfileByName(strings.TrimSpace(name))
+		if p == nil {
+			return nil, fmt.Errorf("unknown IXP %q", name)
+		}
+		out = append(out, *p)
+	}
+	return out, nil
+}
+
+func parseCodec(name string) (collector.Codec, error) {
+	switch name {
+	case "json":
+		return collector.CodecJSON, nil
+	case "json.gz":
+		return collector.CodecJSONGzip, nil
+	case "gob":
+		return collector.CodecGob, nil
+	case "gob.gz":
+		return collector.CodecGobGzip, nil
+	default:
+		return 0, fmt.Errorf("unknown codec %q", name)
+	}
+}
+
+func parseValleys(spec string) ([]int, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, s := range strings.Split(spec, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			return nil, fmt.Errorf("bad valley day %q", s)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,134 @@
+// Command lg-server runs a looking glass over a synthetic IXP route
+// server — a local stand-in for lg.de-cix.net and friends.
+//
+// Usage:
+//
+//	lg-server [-ixp DE-CIX] [-addr :8080] [-scale 0.02] [-seed 42]
+//	          [-flaky 0.0] [-bgp :1790]
+//
+// With -bgp it additionally accepts real BGP sessions on that address:
+// peers that establish a session and announce routes appear in the LG
+// output alongside the synthetic members.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"net/netip"
+	"os"
+
+	"ixplight/internal/bgp"
+	"ixplight/internal/bgp/session"
+	"ixplight/internal/ixpgen"
+	"ixplight/internal/lg"
+	"ixplight/internal/netutil"
+	"ixplight/internal/rs"
+)
+
+func main() {
+	ixp := flag.String("ixp", "DE-CIX", "IXP profile to simulate")
+	addr := flag.String("addr", ":8080", "HTTP listen address")
+	scale := flag.Float64("scale", 0.02, "workload scale")
+	seed := flag.Int64("seed", 42, "generation seed")
+	flaky := flag.Float64("flaky", 0, "probability of injected 500 responses")
+	bgpAddr := flag.String("bgp", "", "optional BGP listen address (e.g. :1790)")
+	flag.Parse()
+
+	profile := ixpgen.ProfileByName(*ixp)
+	if profile == nil {
+		log.Fatalf("unknown IXP %q", *ixp)
+	}
+	server, err := rs.New(rs.Config{
+		Scheme:       profile.Scheme,
+		MaxPathLen:   64,
+		ScrubActions: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	w, err := ixpgen.Generate(*profile, ixpgen.Options{Seed: *seed, Scale: *scale})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := w.Populate(server); err != nil {
+		log.Fatal(err)
+	}
+	st := server.Stats()
+	log.Printf("%s: %d/%d members, %d/%d routes (v4/v6)",
+		st.IXP, st.MembersV4, st.MembersV6, st.RoutesV4, st.RoutesV6)
+
+	if *bgpAddr != "" {
+		go serveBGP(server, profile, *bgpAddr)
+	}
+
+	var handler http.Handler = lg.NewServer(server)
+	if *flaky > 0 {
+		handler = lg.Flaky(handler, lg.FlakyOptions{ErrorRate: *flaky, Seed: *seed})
+	}
+	log.Printf("looking glass for %s on %s", *ixp, *addr)
+	if err := http.ListenAndServe(*addr, handler); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// serveBGP accepts member BGP sessions and feeds announcements into
+// the route server.
+func serveBGP(server *rs.Server, profile *ixpgen.Profile, addr string) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatalf("bgp listen: %v", err)
+	}
+	log.Printf("BGP listener on %s (RS ASN %d)", addr, profile.Scheme.RSASN)
+	cfg := session.Config{
+		ASN:      uint32(profile.Scheme.RSASN),
+		RouterID: netip.MustParseAddr("192.0.2.1"),
+		IPv4:     true,
+		IPv6:     true,
+	}
+	next := 60000 // address index for dynamically joining peers
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			log.Printf("bgp accept: %v", err)
+			return
+		}
+		idx := next
+		next++
+		go func(c net.Conn, idx int) {
+			err := session.ServeConn(context.Background(), c, cfg, func(peer uint32, u *bgp.Update) error {
+				if !server.HasPeer(peer) {
+					if err := server.AddPeer(rs.Peer{
+						ASN:    peer,
+						Name:   fmt.Sprintf("bgp-peer-%d", peer),
+						AddrV4: netutil.PeerAddrV4(idx),
+						AddrV6: netutil.PeerAddrV6(idx),
+						IPv4:   true,
+						IPv6:   true,
+					}); err != nil {
+						return err
+					}
+					log.Printf("new BGP peer AS%d", peer)
+				}
+				for _, prefix := range u.Withdrawn {
+					server.Withdraw(peer, prefix)
+				}
+				for _, r := range u.Routes() {
+					if reason, err := server.Announce(peer, r); err != nil {
+						return err
+					} else if reason != rs.FilterNone {
+						log.Printf("AS%d: %s filtered: %v", peer, r.Prefix, reason)
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				log.Printf("bgp session: %v", err)
+			}
+		}(conn, idx)
+	}
+}

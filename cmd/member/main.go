@@ -1,0 +1,106 @@
+// Command member is a stand-alone IXP member: it opens a BGP session
+// to a route server (e.g. lg-server -bgp :1790) and announces routes
+// tagged with the action communities you specify, then holds the
+// session with keepalives so the routes stay visible in the LG.
+//
+// Usage:
+//
+//	member -connect localhost:1790 -asn 64512 -routes 5 \
+//	       -communities 0:15169,6695:6695 [-withdraw-after 30s]
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net"
+	"net/netip"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"ixplight/internal/bgp"
+	"ixplight/internal/bgp/session"
+	"ixplight/internal/netutil"
+)
+
+func main() {
+	connect := flag.String("connect", "localhost:1790", "route server BGP address")
+	asn := flag.Uint("asn", 64512, "our AS number")
+	nRoutes := flag.Int("routes", 3, "number of IPv4 routes to announce")
+	commSpec := flag.String("communities", "", "comma-separated communities to tag every route with")
+	prefixBase := flag.Int("prefix-base", 5000, "first synthetic /24 index to announce")
+	withdrawAfter := flag.Duration("withdraw-after", 0, "withdraw everything after this delay (0 = never)")
+	flag.Parse()
+
+	comms, err := parseCommunities(*commSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	conn, err := net.Dial("tcp", *connect)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sess, err := session.Establish(conn, session.Config{
+		ASN:      uint32(*asn),
+		RouterID: netip.MustParseAddr("10.99.0.1"),
+		IPv4:     true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sess.Close()
+	log.Printf("session established with AS%d (hold time %v)", sess.PeerASN(), sess.HoldTime())
+
+	var prefixes []netip.Prefix
+	for i := 0; i < *nRoutes; i++ {
+		r := bgp.Route{
+			Prefix:      netutil.SyntheticV4Prefix(*prefixBase + i),
+			NextHop:     netutil.PeerAddrV4(int(*asn % 1000)),
+			ASPath:      bgp.ASPath{uint32(*asn)},
+			Origin:      bgp.OriginIGP,
+			Communities: comms,
+		}
+		if err := sess.SendRoute(r); err != nil {
+			log.Fatal(err)
+		}
+		prefixes = append(prefixes, r.Prefix)
+		log.Printf("announced %s with %d communities", r.Prefix, len(comms))
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go sess.RunKeepalives(ctx)
+
+	if *withdrawAfter > 0 {
+		select {
+		case <-time.After(*withdrawAfter):
+			for _, p := range prefixes {
+				if err := sess.SendWithdraw(p); err != nil {
+					log.Fatal(err)
+				}
+				log.Printf("withdrew %s", p)
+			}
+		case <-ctx.Done():
+		}
+	}
+	<-ctx.Done()
+	log.Println("closing session")
+}
+
+func parseCommunities(spec string) ([]bgp.Community, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []bgp.Community
+	for _, s := range strings.Split(spec, ",") {
+		c, err := bgp.ParseCommunity(strings.TrimSpace(s))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}

@@ -1,0 +1,87 @@
+// Visibility example: the paper's footnote-1 methodology claim,
+// demonstrated with artifacts. A synthetic DE-CIX is dumped twice as
+// MRT TABLE_DUMP_V2 archives — once from the looking-glass vantage
+// point (ingress routes, pre-scrub) and once as a route collector
+// peering at the RS would archive it (post-action export). Counting
+// action communities in both archives shows why the paper had to use
+// LGs instead of RouteViews/RIPE RIS.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"ixplight/internal/analysis"
+	"ixplight/internal/bgp"
+	"ixplight/internal/collector"
+	"ixplight/internal/ixpgen"
+	"ixplight/internal/mrt"
+	"ixplight/internal/netutil"
+	"ixplight/internal/rs"
+)
+
+func main() {
+	profile := ixpgen.ProfileByName("DE-CIX")
+	w, err := ixpgen.Generate(*profile, ixpgen.Options{Seed: 11, Scale: 0.01})
+	if err != nil {
+		log.Fatal(err)
+	}
+	server, err := rs.New(rs.Config{Scheme: profile.Scheme, ScrubActions: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := w.Populate(server); err != nil {
+		log.Fatal(err)
+	}
+
+	// Vantage point 1: the looking glass (ingress Adj-RIB-Ins).
+	lgView := w.Snapshot("2021-10-04")
+
+	// Vantage point 2: a route collector peering like a member.
+	const collectorASN = 65020
+	if err := server.AddPeer(rs.Peer{
+		ASN: collectorASN, Name: "route-collector",
+		AddrV4: netutil.PeerAddrV4(9000), AddrV6: netutil.PeerAddrV6(9000),
+		IPv4: true, IPv6: true,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	exported := server.ExportTo(collectorASN)
+	collectorView := &collector.Snapshot{IXP: "DE-CIX", Date: "2021-10-04"}
+	collectorView.Members = append(collectorView.Members, lgView.Members...)
+	collectorView.Routes = exported
+	collectorView.Normalize()
+
+	// Both views as RouteViews-style MRT archives.
+	var lgMRT, colMRT bytes.Buffer
+	if err := mrt.WriteRIB(&lgMRT, lgView); err != nil {
+		log.Fatal(err)
+	}
+	if err := mrt.WriteRIB(&colMRT, collectorView); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("MRT archives: LG view %d bytes, collector view %d bytes\n", lgMRT.Len(), colMRT.Len())
+
+	// Parse them back (what a measurement pipeline would do) and count.
+	lgParsed, err := mrt.ReadRIB(&lgMRT)
+	if err != nil {
+		log.Fatal(err)
+	}
+	colParsed, err := mrt.ReadRIB(&colMRT)
+	if err != nil {
+		log.Fatal(err)
+	}
+	v := analysis.CompareVisibility(lgParsed.Routes, colParsed.Routes, profile.Scheme)
+	fmt.Printf("action instances in the LG archive:        %d\n", v.LGActionInstances)
+	fmt.Printf("action instances in the collector archive: %d (over %d routes)\n",
+		v.CollectorActionInstances, v.CollectorRoutes)
+	fmt.Printf("invisible at the collector: %.1f%%\n", 100*v.VisibilityGap())
+
+	// The few survivors are blackhole markers, which the RS must keep.
+	for _, r := range colParsed.Routes {
+		if bgp.HasCommunity(r.Communities, bgp.BlackholeWellKnown) {
+			fmt.Printf("  surviving blackhole marker on %s\n", r.Prefix)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module ixplight
+
+go 1.22

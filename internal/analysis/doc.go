@@ -1,0 +1,14 @@
+// Package analysis implements the paper's measurements over collected
+// snapshots: the community type mix (Fig. 1–2), the action vs
+// informational split (Fig. 3), action-community usage by ASes and
+// routes (Fig. 4a), usage concentration (Fig. 4b), the route-share
+// correlation (Fig. 4c), per-action-type AS counts (Table 2) and
+// occurrence counts (§5.3), top-k communities and targets (Fig. 5),
+// targeting of non-RS members (§5.5, Fig. 6) and the responsible
+// "culprit" ASes (Fig. 7), plus the snapshot-stability tables of
+// Appendix A (Tables 3–4).
+//
+// Every function takes a *collector.Snapshot plus the hosting IXP's
+// *dictionary.Scheme and an address-family selector, mirroring how the
+// paper slices each analysis per IXP and per family.
+package analysis

@@ -1,0 +1,101 @@
+package asdb
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestDefaultRegistry(t *testing.T) {
+	r := Default()
+	if r.Len() == 0 {
+		t.Fatal("default registry empty")
+	}
+	a, ok := r.Lookup(ASNHurricaneElectric)
+	if !ok || a.Name != "Hurricane Electric" || a.Category != ISP {
+		t.Errorf("HE lookup = %+v ok=%v", a, ok)
+	}
+	if got := r.Name(ASNGoogle); got != "Google" {
+		t.Errorf("Name(Google) = %q", got)
+	}
+	if got := r.Name(4200001234); got != "AS4200001234" {
+		t.Errorf("fallback name = %q", got)
+	}
+	if r.CategoryOf(ASNNetflix) != ContentProvider {
+		t.Error("Netflix category wrong")
+	}
+	if r.CategoryOf(99999999) != Unknown {
+		t.Error("unknown ASN category must be Unknown")
+	}
+}
+
+func TestDefaultIsIndependent(t *testing.T) {
+	a, b := Default(), Default()
+	a.Register(AS{ASN: 1, Name: "test", Category: ISP})
+	if _, ok := b.Lookup(1); ok {
+		t.Error("Default() registries share state")
+	}
+}
+
+func TestAllSorted(t *testing.T) {
+	r := Default()
+	all := r.All()
+	for i := 1; i < len(all); i++ {
+		if all[i-1].ASN >= all[i].ASN {
+			t.Fatalf("All() not sorted: %d before %d", all[i-1].ASN, all[i].ASN)
+		}
+	}
+}
+
+func TestRegisterOverwrites(t *testing.T) {
+	r := NewRegistry()
+	r.Register(AS{ASN: 5, Name: "old", Category: ISP})
+	r.Register(AS{ASN: 5, Name: "new", Category: Cloud})
+	a, _ := r.Lookup(5)
+	if a.Name != "new" || a.Category != Cloud {
+		t.Errorf("overwrite failed: %+v", a)
+	}
+	if r.Len() != 1 {
+		t.Errorf("Len = %d", r.Len())
+	}
+}
+
+func TestZeroValueRegistryUsable(t *testing.T) {
+	var r Registry
+	r.Register(AS{ASN: 7, Name: "z", Category: ISP})
+	if got := r.Name(7); got != "z" {
+		t.Errorf("zero-value registry Name = %q", got)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	r := Default()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(base uint32) {
+			defer wg.Done()
+			for j := uint32(0); j < 200; j++ {
+				r.Register(AS{ASN: base*1000 + j, Name: "x", Category: ISP})
+				r.Lookup(ASNGoogle)
+				r.Name(base*1000 + j)
+			}
+		}(uint32(i + 1))
+	}
+	wg.Wait()
+	if r.Len() < 8*200 {
+		t.Errorf("Len = %d after concurrent registers", r.Len())
+	}
+}
+
+func TestCategoryString(t *testing.T) {
+	cases := map[Category]string{
+		Unknown: "unknown", ContentProvider: "content-provider", Cloud: "cloud",
+		ISP: "isp", Transit: "transit", Educational: "educational",
+		Enterprise: "enterprise", IXPInfra: "ixp-infra", Category(99): "unknown",
+	}
+	for c, want := range cases {
+		if got := c.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(c), got, want)
+		}
+	}
+}

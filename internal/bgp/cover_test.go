@@ -1,0 +1,186 @@
+package bgp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStringers(t *testing.T) {
+	for typ, want := range map[MessageType]string{
+		MsgOpen: "OPEN", MsgUpdate: "UPDATE",
+		MsgNotification: "NOTIFICATION", MsgKeepalive: "KEEPALIVE",
+		MessageType(77): "MessageType(77)",
+	} {
+		if got := typ.String(); got != want {
+			t.Errorf("MessageType(%d) = %q, want %q", typ, got, want)
+		}
+	}
+	for o, want := range map[Origin]string{
+		OriginIGP: "IGP", OriginEGP: "EGP", OriginIncomplete: "Incomplete",
+		Origin(9): "Origin(9)",
+	} {
+		if got := o.String(); got != want {
+			t.Errorf("Origin(%d) = %q, want %q", o, got, want)
+		}
+	}
+}
+
+func TestRouteString(t *testing.T) {
+	r := Route{
+		Prefix:      mustPrefix("198.51.100.0/24"),
+		NextHop:     mustAddr("10.0.0.7"),
+		ASPath:      ASPath{6939, 64512},
+		Communities: []Community{NewCommunity(0, 15169)},
+	}
+	s := r.String()
+	for _, want := range []string{"198.51.100.0/24", "10.0.0.7", "6939 64512", "0:15169"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Route.String() = %q misses %q", s, want)
+		}
+	}
+	// Without communities the comm block is absent.
+	r.Communities = nil
+	if strings.Contains(r.String(), "comm") {
+		t.Errorf("empty communities still rendered: %q", r.String())
+	}
+}
+
+func TestRouteAccessors(t *testing.T) {
+	r := Route{
+		Prefix:  mustPrefix("2001:db8::/32"),
+		NextHop: mustAddr("2001:db8::1"),
+		ASPath:  ASPath{100, 200, 300},
+	}
+	if r.OriginAS() != 300 || r.PeerAS() != 100 {
+		t.Errorf("origin/peer = %d/%d", r.OriginAS(), r.PeerAS())
+	}
+	if !r.IsIPv6() {
+		t.Error("IsIPv6 = false for a v6 route")
+	}
+}
+
+func TestSupportsAFIEdge(t *testing.T) {
+	o := &Open{Capabilities: []Capability{
+		{Code: CapMultiProtocol, Data: []byte{0, 1}},       // truncated
+		{Code: CapMultiProtocol, Data: []byte{0, 2, 0, 2}}, // SAFI 2 (multicast)
+	}}
+	if o.SupportsAFI(AFIIPv4) {
+		t.Error("truncated capability accepted")
+	}
+	if o.SupportsAFI(AFIIPv6) {
+		t.Error("non-unicast SAFI accepted")
+	}
+}
+
+func TestRIBAttributesRoundTripVariants(t *testing.T) {
+	routes := []Route{
+		{ // v4 with every optional attribute
+			Prefix: mustPrefix("198.51.100.0/24"), NextHop: mustAddr("10.0.0.1"),
+			ASPath: ASPath{64512, 64513}, Origin: OriginEGP,
+			MED: 7, LocalPref: 200,
+			Communities:      []Community{NewCommunity(0, 1), NewCommunity(2, 3)},
+			ExtCommunities:   []ExtendedCommunity{NewTwoOctetASExtended(6, 64512, 9)},
+			LargeCommunities: []LargeCommunity{{Global: 1, Local1: 2, Local2: 3}},
+		},
+		{ // v6 via abbreviated MP_REACH
+			Prefix: mustPrefix("2001:db8::/32"), NextHop: mustAddr("2001:db8::9"),
+			ASPath: ASPath{64512}, Origin: OriginIGP,
+		},
+		{ // empty AS path (zero-segment attribute)
+			Prefix: mustPrefix("198.51.100.0/24"), NextHop: mustAddr("10.0.0.1"),
+		},
+	}
+	for i, in := range routes {
+		attrs, err := MarshalRIBAttributes(in)
+		if err != nil {
+			t.Fatalf("route %d: %v", i, err)
+		}
+		out := Route{Prefix: in.Prefix}
+		if err := UnmarshalRIBAttributes(attrs, &out); err != nil {
+			t.Fatalf("route %d: %v", i, err)
+		}
+		if out.NextHop != in.NextHop || out.Origin != in.Origin ||
+			out.MED != in.MED || out.LocalPref != in.LocalPref {
+			t.Errorf("route %d: scalar attrs lost: %+v", i, out)
+		}
+		if len(out.Communities) != len(in.Communities) ||
+			len(out.ExtCommunities) != len(in.ExtCommunities) ||
+			len(out.LargeCommunities) != len(in.LargeCommunities) {
+			t.Errorf("route %d: community lists lost", i)
+		}
+		if out.ASPath.String() != in.ASPath.String() {
+			t.Errorf("route %d: path %q vs %q", i, out.ASPath, in.ASPath)
+		}
+	}
+}
+
+func TestRIBAttributesErrors(t *testing.T) {
+	long := Route{
+		Prefix: mustPrefix("198.51.100.0/24"), NextHop: mustAddr("10.0.0.1"),
+		ASPath: make(ASPath, 256),
+	}
+	if _, err := MarshalRIBAttributes(long); err == nil {
+		t.Error("256-hop path accepted")
+	}
+	cases := [][]byte{
+		{0x40},                    // truncated header
+		{0x40, 1, 2, 0},           // payload shorter than declared
+		{0x40, 1, 2, 0, 0},        // ORIGIN with length 2
+		{0x40, 3, 2, 1, 2},        // NEXT_HOP with length 2
+		{0x80, 4, 2, 1, 2},        // MED with length 2
+		{0x40, 5, 2, 1, 2},        // LOCAL_PREF with length 2
+		{0xC0, 8, 3, 1, 2, 3},     // COMMUNITIES not multiple of 4
+		{0xC0, 16, 4, 1, 2, 3, 4}, // EXT not multiple of 8
+		{0xC0, 32, 4, 1, 2, 3, 4}, // LARGE not multiple of 12
+		{0x80, 14, 2, 4, 0},       // abbreviated MP_REACH length mismatch
+		{0x80, 14, 3, 2, 0, 0},    // MP_REACH nexthop length 2
+		{0x40, 99, 1, 0},          // unknown well-known attribute
+	}
+	for i, attrs := range cases {
+		r := Route{Prefix: mustPrefix("198.51.100.0/24")}
+		if err := UnmarshalRIBAttributes(attrs, &r); err == nil {
+			t.Errorf("case %d: malformed attrs accepted", i)
+		}
+	}
+	// Unknown *optional* attributes are tolerated.
+	r := Route{Prefix: mustPrefix("198.51.100.0/24")}
+	if err := UnmarshalRIBAttributes([]byte{0x80, 99, 1, 0}, &r); err != nil {
+		t.Errorf("unknown optional attribute rejected: %v", err)
+	}
+}
+
+func TestUpdateParserErrorPaths(t *testing.T) {
+	// Build a valid update and corrupt specific attributes.
+	mk := func(mutate func([]byte) []byte) error {
+		good, err := Marshal(sampleUpdateV4())
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := mutate(append([]byte(nil), good...))
+		// Fix the length field.
+		b[16], b[17] = byte(len(b)>>8), byte(len(b))
+		_, err = Unmarshal(b)
+		return err
+	}
+	// AS_PATH with an AS_SET segment type (1) must be rejected: find
+	// the attribute (flags 0x40, type 2) and patch its segment type.
+	err := mk(func(b []byte) []byte {
+		for i := HeaderLen; i < len(b)-2; i++ {
+			if b[i] == flagTransitive && b[i+1] == attrASPath {
+				b[i+3] = 1 // segment type AS_SET
+				return b
+			}
+		}
+		t.Fatal("AS_PATH attribute not found")
+		return b
+	})
+	if err == nil {
+		t.Error("AS_SET segment accepted")
+	}
+}
+
+func TestMustParseCommunityOK(t *testing.T) {
+	if MustParseCommunity("0:15169") != NewCommunity(0, 15169) {
+		t.Error("MustParseCommunity wrong value")
+	}
+}

@@ -1,0 +1,93 @@
+package bgp
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestExtendedCommunityAccessors(t *testing.T) {
+	e := NewTwoOctetASExtended(ExtSubTypePrependAction, 64500, 15169)
+	if !e.IsTwoOctetAS() {
+		t.Fatal("IsTwoOctetAS = false")
+	}
+	if e.Type() != ExtTypeTwoOctetAS {
+		t.Errorf("Type = %d", e.Type())
+	}
+	if e.SubType() != ExtSubTypePrependAction {
+		t.Errorf("SubType = %d", e.SubType())
+	}
+	if e.ASN() != 64500 {
+		t.Errorf("ASN = %d", e.ASN())
+	}
+	if e.LocalAdmin() != 15169 {
+		t.Errorf("LocalAdmin = %d", e.LocalAdmin())
+	}
+	if got, want := e.String(), "128:64500:15169"; got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+func TestExtendedCommunityOpaqueString(t *testing.T) {
+	e := ExtendedCommunity{0x03, 0x0c, 1, 2, 3, 4, 5, 6}
+	if e.IsTwoOctetAS() {
+		t.Fatal("opaque value claimed two-octet-AS")
+	}
+	if got, want := e.String(), "030c010203040506"; got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+func TestExtendedCommunityRoundTripQuick(t *testing.T) {
+	f := func(sub byte, asn uint16, local uint32) bool {
+		e := NewTwoOctetASExtended(sub, asn, local)
+		parsed, err := ParseExtendedCommunity(e.String())
+		return err == nil && parsed == e
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseExtendedCommunityErrors(t *testing.T) {
+	for _, s := range []string{"", "1:2", "256:1:1", "1:65536:1", "1:1:4294967296", "a:b:c"} {
+		if _, err := ParseExtendedCommunity(s); err == nil {
+			t.Errorf("ParseExtendedCommunity(%q): want error", s)
+		}
+	}
+}
+
+func TestLargeCommunityRoundTripQuick(t *testing.T) {
+	f := func(g, l1, l2 uint32) bool {
+		l := LargeCommunity{Global: g, Local1: l1, Local2: l2}
+		parsed, err := ParseLargeCommunity(l.String())
+		return err == nil && parsed == l
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLargeCommunityLess(t *testing.T) {
+	a := LargeCommunity{1, 2, 3}
+	b := LargeCommunity{1, 2, 4}
+	c := LargeCommunity{1, 3, 0}
+	d := LargeCommunity{2, 0, 0}
+	for _, tt := range []struct {
+		x, y LargeCommunity
+		want bool
+	}{
+		{a, b, true}, {b, a, false}, {a, c, true}, {c, d, true}, {a, a, false},
+	} {
+		if got := tt.x.Less(tt.y); got != tt.want {
+			t.Errorf("%v.Less(%v) = %v, want %v", tt.x, tt.y, got, tt.want)
+		}
+	}
+}
+
+func TestParseLargeCommunityErrors(t *testing.T) {
+	for _, s := range []string{"", "1:2", "1:2:3:4", "x:1:1", "1:1:4294967296"} {
+		if _, err := ParseLargeCommunity(s); err == nil {
+			t.Errorf("ParseLargeCommunity(%q): want error", s)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package bgp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Message framing constants from RFC 4271 §4.1.
+const (
+	HeaderLen     = 19
+	MaxMessageLen = 4096
+	markerLen     = 16
+)
+
+// MessageType identifies the four BGP message kinds.
+type MessageType uint8
+
+// BGP message type codes.
+const (
+	MsgOpen         MessageType = 1
+	MsgUpdate       MessageType = 2
+	MsgNotification MessageType = 3
+	MsgKeepalive    MessageType = 4
+)
+
+// String implements fmt.Stringer.
+func (t MessageType) String() string {
+	switch t {
+	case MsgOpen:
+		return "OPEN"
+	case MsgUpdate:
+		return "UPDATE"
+	case MsgNotification:
+		return "NOTIFICATION"
+	case MsgKeepalive:
+		return "KEEPALIVE"
+	default:
+		return fmt.Sprintf("MessageType(%d)", uint8(t))
+	}
+}
+
+// Message is one BGP protocol message. Concrete types are *Open,
+// *Update, *Notification and *Keepalive.
+type Message interface {
+	// MsgType returns the wire type code.
+	MsgType() MessageType
+	// marshalBody appends the message body (without header) to dst.
+	marshalBody(dst []byte) ([]byte, error)
+	// unmarshalBody parses the message body.
+	unmarshalBody(body []byte) error
+}
+
+// Keepalive is the bodiless liveness message.
+type Keepalive struct{}
+
+// MsgType implements Message.
+func (*Keepalive) MsgType() MessageType { return MsgKeepalive }
+
+func (*Keepalive) marshalBody(dst []byte) ([]byte, error) { return dst, nil }
+
+func (*Keepalive) unmarshalBody(body []byte) error {
+	if len(body) != 0 {
+		return errors.New("bgp: KEEPALIVE with non-empty body")
+	}
+	return nil
+}
+
+// ErrShortMessage reports a message truncated below its declared or
+// minimum length.
+var ErrShortMessage = errors.New("bgp: short message")
+
+// Marshal encodes a full message: all-ones marker, length, type, body.
+func Marshal(m Message) ([]byte, error) {
+	buf := make([]byte, HeaderLen, HeaderLen+64)
+	for i := 0; i < markerLen; i++ {
+		buf[i] = 0xFF
+	}
+	buf[18] = byte(m.MsgType())
+	buf, err := m.marshalBody(buf)
+	if err != nil {
+		return nil, err
+	}
+	if len(buf) > MaxMessageLen {
+		return nil, fmt.Errorf("bgp: %s message length %d exceeds %d", m.MsgType(), len(buf), MaxMessageLen)
+	}
+	binary.BigEndian.PutUint16(buf[16:18], uint16(len(buf)))
+	return buf, nil
+}
+
+// Unmarshal decodes one complete message from b, which must contain
+// exactly one message.
+func Unmarshal(b []byte) (Message, error) {
+	if len(b) < HeaderLen {
+		return nil, ErrShortMessage
+	}
+	for i := 0; i < markerLen; i++ {
+		if b[i] != 0xFF {
+			return nil, errors.New("bgp: bad marker")
+		}
+	}
+	length := int(binary.BigEndian.Uint16(b[16:18]))
+	if length < HeaderLen || length > MaxMessageLen {
+		return nil, fmt.Errorf("bgp: bad message length %d", length)
+	}
+	if length != len(b) {
+		return nil, fmt.Errorf("bgp: message length %d does not match buffer %d", length, len(b))
+	}
+	var m Message
+	switch MessageType(b[18]) {
+	case MsgOpen:
+		m = &Open{}
+	case MsgUpdate:
+		m = &Update{}
+	case MsgNotification:
+		m = &Notification{}
+	case MsgKeepalive:
+		m = &Keepalive{}
+	default:
+		return nil, fmt.Errorf("bgp: unknown message type %d", b[18])
+	}
+	if err := m.unmarshalBody(b[HeaderLen:length]); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// ReadMessage reads exactly one message from a stream, validating the
+// framing before allocating the body.
+func ReadMessage(r io.Reader) (Message, error) {
+	var hdr [HeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	length := int(binary.BigEndian.Uint16(hdr[16:18]))
+	if length < HeaderLen || length > MaxMessageLen {
+		return nil, fmt.Errorf("bgp: bad message length %d", length)
+	}
+	buf := make([]byte, length)
+	copy(buf, hdr[:])
+	if _, err := io.ReadFull(r, buf[HeaderLen:]); err != nil {
+		return nil, err
+	}
+	return Unmarshal(buf)
+}
+
+// WriteMessage marshals m and writes it to w.
+func WriteMessage(w io.Writer, m Message) error {
+	b, err := Marshal(m)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}

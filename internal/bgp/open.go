@@ -1,0 +1,202 @@
+package bgp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+)
+
+// ASTrans is the 2-octet placeholder ASN for speakers whose real ASN
+// needs four octets (RFC 6793).
+const ASTrans = 23456
+
+// Capability codes used by this implementation (RFC 5492 registry).
+const (
+	CapMultiProtocol = 1  // RFC 4760
+	CapFourOctetAS   = 65 // RFC 6793
+)
+
+// AFI/SAFI pairs for the two address families the route server carries.
+const (
+	AFIIPv4     uint16 = 1
+	AFIIPv6     uint16 = 2
+	SAFIUnicast byte   = 1
+)
+
+// Capability is one optional-parameter capability TLV from an OPEN.
+type Capability struct {
+	Code byte
+	Data []byte
+}
+
+// NewMPCapability builds a multiprotocol capability for afi/unicast.
+func NewMPCapability(afi uint16) Capability {
+	data := make([]byte, 4)
+	binary.BigEndian.PutUint16(data[0:2], afi)
+	data[3] = SAFIUnicast
+	return Capability{Code: CapMultiProtocol, Data: data}
+}
+
+// NewFourOctetASCapability advertises a 4-octet ASN.
+func NewFourOctetASCapability(asn uint32) Capability {
+	data := make([]byte, 4)
+	binary.BigEndian.PutUint32(data, asn)
+	return Capability{Code: CapFourOctetAS, Data: data}
+}
+
+// Open is the session-establishment message.
+type Open struct {
+	Version      byte
+	ASN          uint32 // the real (possibly 4-octet) ASN
+	HoldTime     uint16
+	RouterID     netip.Addr // 4-byte BGP identifier
+	Capabilities []Capability
+}
+
+// MsgType implements Message.
+func (*Open) MsgType() MessageType { return MsgOpen }
+
+// FourOctetASN extracts the ASN from a 4-octet-AS capability if
+// present, falling back to the 2-octet header field.
+func (o *Open) FourOctetASN() uint32 {
+	for _, c := range o.Capabilities {
+		if c.Code == CapFourOctetAS && len(c.Data) == 4 {
+			return binary.BigEndian.Uint32(c.Data)
+		}
+	}
+	return o.ASN
+}
+
+// SupportsAFI reports whether the OPEN advertised the multiprotocol
+// capability for afi/unicast.
+func (o *Open) SupportsAFI(afi uint16) bool {
+	for _, c := range o.Capabilities {
+		if c.Code == CapMultiProtocol && len(c.Data) == 4 &&
+			binary.BigEndian.Uint16(c.Data[0:2]) == afi && c.Data[3] == SAFIUnicast {
+			return true
+		}
+	}
+	return false
+}
+
+func (o *Open) marshalBody(dst []byte) ([]byte, error) {
+	if !o.RouterID.Is4() {
+		return nil, fmt.Errorf("bgp: OPEN router ID %v is not IPv4", o.RouterID)
+	}
+	dst = append(dst, o.Version)
+	as2 := o.ASN
+	if as2 > 0xFFFF {
+		as2 = ASTrans
+	}
+	dst = binary.BigEndian.AppendUint16(dst, uint16(as2))
+	dst = binary.BigEndian.AppendUint16(dst, o.HoldTime)
+	rid := o.RouterID.As4()
+	dst = append(dst, rid[:]...)
+
+	// Optional parameters: each capability wrapped in an opt-param of
+	// type 2 (RFC 5492).
+	var params []byte
+	for _, c := range o.Capabilities {
+		if len(c.Data) > 255 {
+			return nil, fmt.Errorf("bgp: capability %d data too long", c.Code)
+		}
+		params = append(params, 2, byte(2+len(c.Data)), c.Code, byte(len(c.Data)))
+		params = append(params, c.Data...)
+	}
+	if len(params) > 255 {
+		return nil, fmt.Errorf("bgp: OPEN optional parameters too long (%d)", len(params))
+	}
+	dst = append(dst, byte(len(params)))
+	return append(dst, params...), nil
+}
+
+func (o *Open) unmarshalBody(body []byte) error {
+	if len(body) < 10 {
+		return ErrShortMessage
+	}
+	o.Version = body[0]
+	o.ASN = uint32(binary.BigEndian.Uint16(body[1:3]))
+	o.HoldTime = binary.BigEndian.Uint16(body[3:5])
+	o.RouterID = netip.AddrFrom4([4]byte(body[5:9]))
+	optLen := int(body[9])
+	opts := body[10:]
+	if optLen != len(opts) {
+		return fmt.Errorf("bgp: OPEN optional parameter length %d does not match %d", optLen, len(opts))
+	}
+	o.Capabilities = nil
+	for len(opts) > 0 {
+		if len(opts) < 2 {
+			return ErrShortMessage
+		}
+		ptype, plen := opts[0], int(opts[1])
+		if len(opts) < 2+plen {
+			return ErrShortMessage
+		}
+		pdata := opts[2 : 2+plen]
+		opts = opts[2+plen:]
+		if ptype != 2 {
+			continue // ignore deprecated auth parameter
+		}
+		for len(pdata) > 0 {
+			if len(pdata) < 2 {
+				return ErrShortMessage
+			}
+			code, clen := pdata[0], int(pdata[1])
+			if len(pdata) < 2+clen {
+				return ErrShortMessage
+			}
+			cap := Capability{Code: code}
+			if clen > 0 {
+				cap.Data = append([]byte(nil), pdata[2:2+clen]...)
+			}
+			o.Capabilities = append(o.Capabilities, cap)
+			pdata = pdata[2+clen:]
+		}
+	}
+	// Surface the 4-octet ASN if negotiated so callers can use o.ASN
+	// directly.
+	o.ASN = o.FourOctetASN()
+	return nil
+}
+
+// Notification reports a protocol error and closes the session.
+type Notification struct {
+	Code    byte
+	Subcode byte
+	Data    []byte
+}
+
+// Notification error codes (RFC 4271 §4.5).
+const (
+	NotifMessageHeaderError = 1
+	NotifOpenError          = 2
+	NotifUpdateError        = 3
+	NotifHoldTimerExpired   = 4
+	NotifFSMError           = 5
+	NotifCease              = 6
+)
+
+// MsgType implements Message.
+func (*Notification) MsgType() MessageType { return MsgNotification }
+
+// Error implements the error interface so a received NOTIFICATION can
+// be returned directly from session code.
+func (n *Notification) Error() string {
+	return fmt.Sprintf("bgp: notification code %d subcode %d", n.Code, n.Subcode)
+}
+
+func (n *Notification) marshalBody(dst []byte) ([]byte, error) {
+	dst = append(dst, n.Code, n.Subcode)
+	return append(dst, n.Data...), nil
+}
+
+func (n *Notification) unmarshalBody(body []byte) error {
+	if len(body) < 2 {
+		return ErrShortMessage
+	}
+	n.Code, n.Subcode = body[0], body[1]
+	if len(body) > 2 {
+		n.Data = append([]byte(nil), body[2:]...)
+	}
+	return nil
+}

@@ -1,0 +1,150 @@
+package bgp
+
+import (
+	"math/rand"
+	"net/netip"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// randomV4Prefix derives a masked IPv4 prefix from arbitrary fuzz input.
+func randomV4Prefix(r *rand.Rand) netip.Prefix {
+	var a [4]byte
+	r.Read(a[:])
+	bits := r.Intn(25) + 8 // /8../32
+	return netip.PrefixFrom(netip.AddrFrom4(a), bits).Masked()
+}
+
+func randomV6Prefix(r *rand.Rand) netip.Prefix {
+	var a [16]byte
+	r.Read(a[:])
+	bits := r.Intn(109) + 20 // /20../128
+	return netip.PrefixFrom(netip.AddrFrom16(a), bits).Masked()
+}
+
+// randomUpdate builds a structurally valid random UPDATE for the
+// property tests. Generate implements quick.Generator.
+type randomUpdate struct{ u *Update }
+
+// Generate implements testing/quick.Generator.
+func (randomUpdate) Generate(r *rand.Rand, size int) reflect.Value {
+	v6 := r.Intn(2) == 1
+	u := &Update{Origin: Origin(r.Intn(3))}
+
+	pathLen := r.Intn(6) + 1
+	for i := 0; i < pathLen; i++ {
+		u.ASPath = append(u.ASPath, r.Uint32())
+	}
+	if v6 {
+		var a [16]byte
+		r.Read(a[:])
+		u.NextHop = netip.AddrFrom16(a)
+	} else {
+		var a [4]byte
+		r.Read(a[:])
+		u.NextHop = netip.AddrFrom4(a)
+	}
+	if r.Intn(2) == 1 {
+		u.MED, u.HasMED = r.Uint32(), true
+	}
+	if r.Intn(2) == 1 {
+		u.LocalPref, u.HasLocalPref = r.Uint32(), true
+	}
+	for i, n := 0, r.Intn(8); i < n; i++ {
+		u.Communities = append(u.Communities, Community(r.Uint32()))
+	}
+	for i, n := 0, r.Intn(3); i < n; i++ {
+		u.ExtCommunities = append(u.ExtCommunities,
+			NewTwoOctetASExtended(byte(r.Intn(256)), uint16(r.Uint32()), r.Uint32()))
+	}
+	for i, n := 0, r.Intn(3); i < n; i++ {
+		u.LargeCommunities = append(u.LargeCommunities,
+			LargeCommunity{Global: r.Uint32(), Local1: r.Uint32(), Local2: r.Uint32()})
+	}
+	seen := map[netip.Prefix]bool{}
+	for i, n := 0, r.Intn(5)+1; i < n; i++ {
+		var p netip.Prefix
+		if v6 {
+			p = randomV6Prefix(r)
+		} else {
+			p = randomV4Prefix(r)
+		}
+		if !seen[p] {
+			seen[p] = true
+			u.NLRI = append(u.NLRI, p)
+		}
+	}
+	return reflect.ValueOf(randomUpdate{u})
+}
+
+// TestUpdateWireRoundTripProperty checks that Marshal∘Unmarshal is the
+// identity on arbitrary well-formed updates.
+func TestUpdateWireRoundTripProperty(t *testing.T) {
+	f := func(ru randomUpdate) bool {
+		b, err := Marshal(ru.u)
+		if err != nil {
+			t.Logf("marshal: %v", err)
+			return false
+		}
+		m, err := Unmarshal(b)
+		if err != nil {
+			t.Logf("unmarshal: %v", err)
+			return false
+		}
+		out := m.(*Update)
+		if !reflect.DeepEqual(ru.u, out) {
+			t.Logf("mismatch:\n in  %+v\n out %+v", ru.u, out)
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 300}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMarshalIsDeterministic checks that encoding the same update twice
+// yields identical bytes (the snapshot store relies on this).
+func TestMarshalIsDeterministic(t *testing.T) {
+	f := func(ru randomUpdate) bool {
+		a, err1 := Marshal(ru.u)
+		b, err2 := Marshal(ru.u)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return reflect.DeepEqual(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUnmarshalNeverPanics feeds random bytes through the parser; any
+// input must produce an error or a message, never a panic.
+func TestUnmarshalNeverPanics(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 5000; i++ {
+		n := r.Intn(200)
+		b := make([]byte, n)
+		r.Read(b)
+		if n >= HeaderLen && r.Intn(2) == 1 {
+			// Make framing plausible so body parsers get exercised.
+			for j := 0; j < markerLen; j++ {
+				b[j] = 0xFF
+			}
+			b[16] = byte(n >> 8)
+			b[17] = byte(n)
+			b[18] = byte(r.Intn(6))
+		}
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("panic on input %x: %v", b, p)
+				}
+			}()
+			_, _ = Unmarshal(b)
+		}()
+	}
+}

@@ -1,0 +1,243 @@
+// Package session implements a minimal BGP speaker over a byte stream:
+// OPEN negotiation with the 4-octet-AS and multiprotocol capabilities,
+// keepalives, update exchange and NOTIFICATION-based teardown. It is
+// the transport that lets simulated IXP members feed a route server
+// over real TCP connections, exercising the same wire format the
+// paper's route servers speak.
+//
+// The implementation is deliberately session-scoped: no FSM timers
+// beyond the hold timer, no route refresh, no graceful restart — an
+// IXP lab needs exactly "establish, announce, withdraw, close".
+package session
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/netip"
+	"time"
+
+	"ixplight/internal/bgp"
+)
+
+// Config parameterises the local end of a session.
+type Config struct {
+	// ASN is the local (possibly 4-octet) AS number.
+	ASN uint32
+	// RouterID is the 4-byte BGP identifier.
+	RouterID netip.Addr
+	// HoldTime, if zero, defaults to 90 seconds. The negotiated hold
+	// time is the minimum of both sides'.
+	HoldTime time.Duration
+	// IPv4/IPv6 advertise the multiprotocol capabilities (IPv4
+	// defaults to true when both are false).
+	IPv4 bool
+	IPv6 bool
+}
+
+func (c *Config) setDefaults() {
+	if c.HoldTime == 0 {
+		c.HoldTime = 90 * time.Second
+	}
+	if !c.IPv4 && !c.IPv6 {
+		c.IPv4 = true
+	}
+}
+
+func (c Config) open() *bgp.Open {
+	caps := []bgp.Capability{bgp.NewFourOctetASCapability(c.ASN)}
+	if c.IPv4 {
+		caps = append(caps, bgp.NewMPCapability(bgp.AFIIPv4))
+	}
+	if c.IPv6 {
+		caps = append(caps, bgp.NewMPCapability(bgp.AFIIPv6))
+	}
+	return &bgp.Open{
+		Version:      4,
+		ASN:          c.ASN,
+		HoldTime:     uint16(c.HoldTime / time.Second),
+		RouterID:     c.RouterID,
+		Capabilities: caps,
+	}
+}
+
+// Session is an established BGP session. It is safe for one reader
+// and one writer goroutine (Recv vs Send) but not for concurrent
+// senders.
+type Session struct {
+	conn     net.Conn
+	peerOpen *bgp.Open
+	holdTime time.Duration
+	closed   bool
+}
+
+// ErrSessionClosed reports use of a closed session.
+var ErrSessionClosed = errors.New("session: closed")
+
+// Establish performs the symmetric OPEN/KEEPALIVE handshake over conn.
+// Both the dialing and the accepting side call it — BGP's handshake is
+// symmetric once the TCP connection exists.
+func Establish(conn net.Conn, cfg Config) (*Session, error) {
+	cfg.setDefaults()
+	if err := bgp.WriteMessage(conn, cfg.open()); err != nil {
+		return nil, fmt.Errorf("session: send OPEN: %w", err)
+	}
+	msg, err := bgp.ReadMessage(conn)
+	if err != nil {
+		return nil, fmt.Errorf("session: read OPEN: %w", err)
+	}
+	peerOpen, ok := msg.(*bgp.Open)
+	if !ok {
+		return nil, fmt.Errorf("session: expected OPEN, got %v", msg.MsgType())
+	}
+	if peerOpen.Version != 4 {
+		_ = bgp.WriteMessage(conn, &bgp.Notification{Code: bgp.NotifOpenError, Subcode: 1})
+		return nil, fmt.Errorf("session: unsupported BGP version %d", peerOpen.Version)
+	}
+	if err := bgp.WriteMessage(conn, &bgp.Keepalive{}); err != nil {
+		return nil, fmt.Errorf("session: send KEEPALIVE: %w", err)
+	}
+	msg, err = bgp.ReadMessage(conn)
+	if err != nil {
+		return nil, fmt.Errorf("session: read KEEPALIVE: %w", err)
+	}
+	if _, ok := msg.(*bgp.Keepalive); !ok {
+		if n, isNotif := msg.(*bgp.Notification); isNotif {
+			return nil, n
+		}
+		return nil, fmt.Errorf("session: expected KEEPALIVE, got %v", msg.MsgType())
+	}
+	hold := cfg.HoldTime
+	if peer := time.Duration(peerOpen.HoldTime) * time.Second; peer > 0 && peer < hold {
+		hold = peer
+	}
+	return &Session{conn: conn, peerOpen: peerOpen, holdTime: hold}, nil
+}
+
+// PeerASN returns the peer's (4-octet aware) AS number.
+func (s *Session) PeerASN() uint32 { return s.peerOpen.ASN }
+
+// PeerSupportsAFI reports the peer's multiprotocol capabilities.
+func (s *Session) PeerSupportsAFI(afi uint16) bool { return s.peerOpen.SupportsAFI(afi) }
+
+// HoldTime returns the negotiated hold time.
+func (s *Session) HoldTime() time.Duration { return s.holdTime }
+
+// Send writes one message.
+func (s *Session) Send(m bgp.Message) error {
+	if s.closed {
+		return ErrSessionClosed
+	}
+	return bgp.WriteMessage(s.conn, m)
+}
+
+// SendRoute announces one route.
+func (s *Session) SendRoute(r bgp.Route) error {
+	return s.Send(bgp.NewUpdateFromRoute(r))
+}
+
+// SendWithdraw withdraws one prefix.
+func (s *Session) SendWithdraw(prefix netip.Prefix) error {
+	return s.Send(&bgp.Update{Withdrawn: []netip.Prefix{prefix}})
+}
+
+// Recv reads the next non-keepalive message, refreshing the hold timer
+// on every arrival. A received NOTIFICATION is returned as an error.
+func (s *Session) Recv() (bgp.Message, error) {
+	for {
+		if s.closed {
+			return nil, ErrSessionClosed
+		}
+		if s.holdTime > 0 {
+			if err := s.conn.SetReadDeadline(time.Now().Add(s.holdTime)); err != nil {
+				return nil, err
+			}
+		}
+		msg, err := bgp.ReadMessage(s.conn)
+		if err != nil {
+			return nil, err
+		}
+		switch m := msg.(type) {
+		case *bgp.Keepalive:
+			continue
+		case *bgp.Notification:
+			return nil, m
+		default:
+			return msg, nil
+		}
+	}
+}
+
+// Keepalive sends one liveness message.
+func (s *Session) Keepalive() error { return s.Send(&bgp.Keepalive{}) }
+
+// RunKeepalives sends keepalives every third of the hold time until
+// the context ends. Run it in its own goroutine for long sessions.
+func (s *Session) RunKeepalives(ctx context.Context) {
+	interval := s.holdTime / 3
+	if interval <= 0 {
+		interval = 30 * time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if s.Keepalive() != nil {
+				return
+			}
+		}
+	}
+}
+
+// Close sends a cease NOTIFICATION and closes the connection.
+func (s *Session) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	_ = bgp.WriteMessage(s.conn, &bgp.Notification{Code: bgp.NotifCease})
+	return s.conn.Close()
+}
+
+// UpdateHandler consumes updates from an established session.
+type UpdateHandler func(peerASN uint32, u *bgp.Update) error
+
+// ServeConn establishes the passive side on conn and pumps updates
+// into handler until the peer closes, errors, or ctx ends. It is the
+// building block for a route server's BGP front end.
+func ServeConn(ctx context.Context, conn net.Conn, cfg Config, handler UpdateHandler) error {
+	sess, err := Establish(conn, cfg)
+	if err != nil {
+		conn.Close()
+		return err
+	}
+	defer sess.Close()
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-ctx.Done():
+			sess.Close()
+		case <-done:
+		}
+	}()
+	for {
+		msg, err := sess.Recv()
+		if err != nil {
+			var notif *bgp.Notification
+			if errors.As(err, &notif) && notif.Code == bgp.NotifCease {
+				return nil // orderly shutdown
+			}
+			return err
+		}
+		if u, ok := msg.(*bgp.Update); ok {
+			if err := handler(sess.PeerASN(), u); err != nil {
+				return err
+			}
+		}
+	}
+}

@@ -1,0 +1,285 @@
+package session
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"ixplight/internal/bgp"
+	"ixplight/internal/netutil"
+)
+
+// pipePair returns two connected conns over TCP loopback. A plain
+// net.Pipe would deadlock the symmetric handshake: it is unbuffered,
+// and both sides write their OPEN before reading.
+func pipePair(t *testing.T) (net.Conn, net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	ch := make(chan net.Conn, 1)
+	errc := make(chan error, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			errc <- err
+			return
+		}
+		ch <- c
+	}()
+	a, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b net.Conn
+	select {
+	case b = <-ch:
+	case err := <-errc:
+		t.Fatal(err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("accept timed out")
+	}
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return a, b
+}
+
+// establishPair runs the handshake concurrently on both pipe ends.
+func establishPair(t *testing.T, cfgA, cfgB Config) (*Session, *Session) {
+	t.Helper()
+	a, b := pipePair(t)
+	var sa, sb *Session
+	var ea, eb error
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); sa, ea = Establish(a, cfgA) }()
+	go func() { defer wg.Done(); sb, eb = Establish(b, cfgB) }()
+	wg.Wait()
+	if ea != nil || eb != nil {
+		t.Fatalf("establish: %v / %v", ea, eb)
+	}
+	return sa, sb
+}
+
+func TestHandshake(t *testing.T) {
+	member := Config{ASN: 4260000001, RouterID: netip.MustParseAddr("10.0.0.1"), IPv4: true, IPv6: true}
+	rsCfg := Config{ASN: 6695, RouterID: netip.MustParseAddr("10.0.0.254"), HoldTime: 30 * time.Second}
+	sa, sb := establishPair(t, member, rsCfg)
+	if sa.PeerASN() != 6695 {
+		t.Errorf("member sees peer ASN %d", sa.PeerASN())
+	}
+	if sb.PeerASN() != 4260000001 {
+		t.Errorf("rs sees peer ASN %d (4-octet capability must survive)", sb.PeerASN())
+	}
+	if !sb.PeerSupportsAFI(bgp.AFIIPv6) {
+		t.Error("rs must see the member's IPv6 capability")
+	}
+	// Negotiated hold time is the minimum of both.
+	if sa.HoldTime() != 30*time.Second || sb.HoldTime() != 30*time.Second {
+		t.Errorf("hold times = %v / %v", sa.HoldTime(), sb.HoldTime())
+	}
+}
+
+func TestRouteExchange(t *testing.T) {
+	sa, sb := establishPair(t,
+		Config{ASN: 64500, RouterID: netip.MustParseAddr("10.0.0.1")},
+		Config{ASN: 6695, RouterID: netip.MustParseAddr("10.0.0.254")},
+	)
+	route := bgp.Route{
+		Prefix:      netutil.SyntheticV4Prefix(0),
+		NextHop:     netutil.PeerAddrV4(1),
+		ASPath:      bgp.ASPath{64500},
+		Communities: []bgp.Community{bgp.MustParseCommunity("0:15169")},
+	}
+	go func() {
+		sa.Keepalive() // keepalives must be transparent to Recv
+		sa.SendRoute(route)
+		sa.SendWithdraw(route.Prefix)
+	}()
+	msg, err := sb.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := msg.(*bgp.Update)
+	routes := u.Routes()
+	if len(routes) != 1 || routes[0].Prefix != route.Prefix {
+		t.Fatalf("routes = %+v", routes)
+	}
+	if !bgp.HasCommunity(routes[0].Communities, bgp.MustParseCommunity("0:15169")) {
+		t.Error("community lost in transit")
+	}
+	msg, err = sb.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := msg.(*bgp.Update)
+	if len(w.Withdrawn) != 1 || w.Withdrawn[0] != route.Prefix {
+		t.Fatalf("withdraw = %+v", w)
+	}
+}
+
+func TestCloseSendsCease(t *testing.T) {
+	sa, sb := establishPair(t,
+		Config{ASN: 1, RouterID: netip.MustParseAddr("10.0.0.1")},
+		Config{ASN: 2, RouterID: netip.MustParseAddr("10.0.0.2")},
+	)
+	go sa.Close()
+	_, err := sb.Recv()
+	var notif *bgp.Notification
+	if !errors.As(err, &notif) || notif.Code != bgp.NotifCease {
+		t.Fatalf("err = %v, want cease notification", err)
+	}
+	if err := sa.Send(&bgp.Keepalive{}); !errors.Is(err, ErrSessionClosed) {
+		t.Errorf("send on closed session = %v", err)
+	}
+	if sa.Close() != nil {
+		t.Error("double close must be nil")
+	}
+}
+
+func TestEstablishRejectsBadVersion(t *testing.T) {
+	a, b := pipePair(t)
+	go func() {
+		open := Config{ASN: 1, RouterID: netip.MustParseAddr("10.0.0.1")}.open()
+		open.Version = 3
+		bgp.WriteMessage(b, open)
+		bgp.ReadMessage(b) // their OPEN
+		bgp.ReadMessage(b) // their NOTIFICATION
+	}()
+	if _, err := Establish(a, Config{ASN: 2, RouterID: netip.MustParseAddr("10.0.0.2")}); err == nil {
+		t.Fatal("version 3 OPEN accepted")
+	}
+}
+
+func TestEstablishRejectsNonOpen(t *testing.T) {
+	a, b := pipePair(t)
+	go func() {
+		bgp.ReadMessage(b) // discard their OPEN
+		bgp.WriteMessage(b, &bgp.Keepalive{})
+	}()
+	if _, err := Establish(a, Config{ASN: 2, RouterID: netip.MustParseAddr("10.0.0.2")}); err == nil {
+		t.Fatal("KEEPALIVE-as-OPEN accepted")
+	}
+}
+
+func TestServeConnOverTCP(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	type upd struct {
+		peer uint32
+		u    *bgp.Update
+	}
+	got := make(chan upd, 16)
+	serveErr := make(chan error, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			serveErr <- err
+			return
+		}
+		serveErr <- ServeConn(context.Background(), conn,
+			Config{ASN: 6695, RouterID: netip.MustParseAddr("10.0.0.254"), IPv4: true, IPv6: true},
+			func(peer uint32, u *bgp.Update) error {
+				got <- upd{peer, u}
+				return nil
+			})
+	}()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := Establish(conn, Config{ASN: 64500, RouterID: netip.MustParseAddr("10.0.0.1"), IPv4: true, IPv6: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		r := bgp.Route{
+			Prefix:  netutil.SyntheticV4Prefix(i),
+			NextHop: netutil.PeerAddrV4(1),
+			ASPath:  bgp.ASPath{64500},
+		}
+		if err := sess.SendRoute(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v6 := bgp.Route{
+		Prefix:  netutil.SyntheticV6Prefix(0),
+		NextHop: netutil.PeerAddrV6(1),
+		ASPath:  bgp.ASPath{64500},
+	}
+	if err := sess.SendRoute(v6); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 6; i++ {
+		select {
+		case u := <-got:
+			if u.peer != 64500 {
+				t.Errorf("update %d from peer %d", i, u.peer)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("timed out waiting for updates")
+		}
+	}
+	sess.Close()
+	if err := <-serveErr; err != nil {
+		t.Errorf("ServeConn = %v, want nil after orderly cease", err)
+	}
+}
+
+func TestServeConnHandlerErrorStops(t *testing.T) {
+	a, b := pipePair(t)
+	handlerErr := errors.New("boom")
+	done := make(chan error, 1)
+	go func() {
+		done <- ServeConn(context.Background(), a,
+			Config{ASN: 2, RouterID: netip.MustParseAddr("10.0.0.2")},
+			func(uint32, *bgp.Update) error { return handlerErr })
+	}()
+	sess, err := Establish(b, Config{ASN: 1, RouterID: netip.MustParseAddr("10.0.0.1")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.SendRoute(bgp.Route{
+		Prefix:  netutil.SyntheticV4Prefix(0),
+		NextHop: netutil.PeerAddrV4(1),
+		ASPath:  bgp.ASPath{1},
+	})
+	if err := <-done; !errors.Is(err, handlerErr) {
+		t.Errorf("ServeConn = %v, want handler error", err)
+	}
+}
+
+func TestRunKeepalivesStopsOnContext(t *testing.T) {
+	sa, sb := establishPair(t,
+		Config{ASN: 1, RouterID: netip.MustParseAddr("10.0.0.1"), HoldTime: 300 * time.Millisecond},
+		Config{ASN: 2, RouterID: netip.MustParseAddr("10.0.0.2"), HoldTime: 300 * time.Millisecond},
+	)
+	ctx, cancel := context.WithCancel(context.Background())
+	kaDone := make(chan struct{})
+	go func() { sa.RunKeepalives(ctx); close(kaDone) }()
+
+	// The reader side keeps the pipe drained while keepalives flow.
+	readerDone := make(chan struct{})
+	go func() { sb.Recv(); close(readerDone) }()
+
+	time.Sleep(250 * time.Millisecond) // at least two keepalive intervals
+	cancel()
+	select {
+	case <-kaDone:
+	case <-time.After(2 * time.Second):
+		t.Fatal("keepalive loop did not stop")
+	}
+	sa.Close()
+	<-readerDone
+}

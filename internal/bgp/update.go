@@ -1,0 +1,464 @@
+package bgp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+)
+
+// Path attribute type codes.
+const (
+	attrOrigin           = 1
+	attrASPath           = 2
+	attrNextHop          = 3
+	attrMED              = 4
+	attrLocalPref        = 5
+	attrCommunities      = 8
+	attrMPReachNLRI      = 14
+	attrMPUnreachNLRI    = 15
+	attrExtCommunities   = 16
+	attrLargeCommunities = 32
+)
+
+// Path attribute flag bits.
+const (
+	flagOptional   = 0x80
+	flagTransitive = 0x40
+	flagExtLen     = 0x10
+)
+
+// Update carries one attribute set plus the prefixes it applies to.
+// IPv4 reachability uses the classic NLRI fields; IPv6 uses the
+// MP-BGP attributes (RFC 4760). A single Update never mixes families.
+type Update struct {
+	// Withdrawn prefixes (either family; v6 withdrawals travel in
+	// MP_UNREACH_NLRI on the wire).
+	Withdrawn []netip.Prefix
+
+	// Attribute set shared by all announced prefixes.
+	Origin           Origin
+	ASPath           ASPath
+	NextHop          netip.Addr
+	MED              uint32
+	HasMED           bool
+	LocalPref        uint32
+	HasLocalPref     bool
+	Communities      []Community
+	ExtCommunities   []ExtendedCommunity
+	LargeCommunities []LargeCommunity
+
+	// Announced prefixes.
+	NLRI []netip.Prefix
+}
+
+// MsgType implements Message.
+func (*Update) MsgType() MessageType { return MsgUpdate }
+
+// NewUpdateFromRoute builds a single-prefix UPDATE announcing r.
+func NewUpdateFromRoute(r Route) *Update {
+	return &Update{
+		Origin:           r.Origin,
+		ASPath:           r.ASPath,
+		NextHop:          r.NextHop,
+		MED:              r.MED,
+		HasMED:           r.MED != 0,
+		LocalPref:        r.LocalPref,
+		HasLocalPref:     r.LocalPref != 0,
+		Communities:      r.Communities,
+		ExtCommunities:   r.ExtCommunities,
+		LargeCommunities: r.LargeCommunities,
+		NLRI:             []netip.Prefix{r.Prefix},
+	}
+}
+
+// Routes expands the update into one Route per announced prefix.
+func (u *Update) Routes() []Route {
+	routes := make([]Route, 0, len(u.NLRI))
+	for _, p := range u.NLRI {
+		routes = append(routes, Route{
+			Prefix:           p,
+			NextHop:          u.NextHop,
+			ASPath:           u.ASPath,
+			Origin:           u.Origin,
+			MED:              u.MED,
+			LocalPref:        u.LocalPref,
+			Communities:      u.Communities,
+			ExtCommunities:   u.ExtCommunities,
+			LargeCommunities: u.LargeCommunities,
+		})
+	}
+	return routes
+}
+
+// isIPv6 reports whether the update carries IPv6 reachability.
+func (u *Update) isIPv6() bool {
+	if len(u.NLRI) > 0 {
+		return u.NLRI[0].Addr().Is6()
+	}
+	if len(u.Withdrawn) > 0 {
+		return u.Withdrawn[0].Addr().Is6()
+	}
+	return false
+}
+
+// appendPrefix encodes one NLRI entry: length-in-bits byte followed by
+// the minimum number of address bytes.
+func appendPrefix(dst []byte, p netip.Prefix) []byte {
+	bits := p.Bits()
+	dst = append(dst, byte(bits))
+	nbytes := (bits + 7) / 8
+	if p.Addr().Is4() {
+		a := p.Addr().As4()
+		return append(dst, a[:nbytes]...)
+	}
+	a := p.Addr().As16()
+	return append(dst, a[:nbytes]...)
+}
+
+// parsePrefixes decodes a packed NLRI field of the given family.
+func parsePrefixes(b []byte, v6 bool) ([]netip.Prefix, error) {
+	var out []netip.Prefix
+	maxBits := 32
+	if v6 {
+		maxBits = 128
+	}
+	for len(b) > 0 {
+		bits := int(b[0])
+		if bits > maxBits {
+			return nil, fmt.Errorf("bgp: NLRI prefix length %d exceeds %d", bits, maxBits)
+		}
+		nbytes := (bits + 7) / 8
+		if len(b) < 1+nbytes {
+			return nil, ErrShortMessage
+		}
+		var addr netip.Addr
+		if v6 {
+			var a [16]byte
+			copy(a[:], b[1:1+nbytes])
+			addr = netip.AddrFrom16(a)
+		} else {
+			var a [4]byte
+			copy(a[:], b[1:1+nbytes])
+			addr = netip.AddrFrom4(a)
+		}
+		p := netip.PrefixFrom(addr, bits)
+		if p.Masked() != p {
+			return nil, fmt.Errorf("bgp: NLRI %s has host bits set", p)
+		}
+		out = append(out, p)
+		b = b[1+nbytes:]
+	}
+	return out, nil
+}
+
+// appendAttr appends one path attribute with the extended-length flag
+// set automatically when the payload exceeds 255 bytes.
+func appendAttr(dst []byte, flags, typ byte, payload []byte) []byte {
+	if len(payload) > 255 {
+		dst = append(dst, flags|flagExtLen, typ)
+		dst = binary.BigEndian.AppendUint16(dst, uint16(len(payload)))
+	} else {
+		dst = append(dst, flags, typ, byte(len(payload)))
+	}
+	return append(dst, payload...)
+}
+
+func (u *Update) marshalBody(dst []byte) ([]byte, error) {
+	v6 := u.isIPv6()
+
+	// Withdrawn routes field (IPv4 only on the wire).
+	var withdrawn []byte
+	if !v6 {
+		for _, p := range u.Withdrawn {
+			withdrawn = appendPrefix(withdrawn, p)
+		}
+	}
+	if len(withdrawn) > 0xFFFF {
+		return nil, errors.New("bgp: withdrawn routes field too long")
+	}
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(withdrawn)))
+	dst = append(dst, withdrawn...)
+
+	// Path attributes.
+	var attrs []byte
+	hasAnnouncement := len(u.NLRI) > 0
+	if hasAnnouncement {
+		attrs = appendAttr(attrs, flagTransitive, attrOrigin, []byte{byte(u.Origin)})
+
+		// AS_PATH: one AS_SEQUENCE segment of 4-octet ASNs. An empty
+		// path encodes as a zero-segment attribute (iBGP-originated).
+		var pathPayload []byte
+		if len(u.ASPath) > 0 {
+			if len(u.ASPath) > 255 {
+				return nil, errors.New("bgp: AS path longer than 255")
+			}
+			pathPayload = append(pathPayload, 2, byte(len(u.ASPath)))
+			for _, asn := range u.ASPath {
+				pathPayload = binary.BigEndian.AppendUint32(pathPayload, asn)
+			}
+		}
+		attrs = appendAttr(attrs, flagTransitive, attrASPath, pathPayload)
+
+		if !v6 {
+			if !u.NextHop.Is4() {
+				return nil, fmt.Errorf("bgp: IPv4 update with next hop %v", u.NextHop)
+			}
+			nh := u.NextHop.As4()
+			attrs = appendAttr(attrs, flagTransitive, attrNextHop, nh[:])
+		}
+		if u.HasMED {
+			attrs = appendAttr(attrs, flagOptional, attrMED, binary.BigEndian.AppendUint32(nil, u.MED))
+		}
+		if u.HasLocalPref {
+			attrs = appendAttr(attrs, flagTransitive, attrLocalPref, binary.BigEndian.AppendUint32(nil, u.LocalPref))
+		}
+		if len(u.Communities) > 0 {
+			payload := make([]byte, 0, 4*len(u.Communities))
+			for _, c := range u.Communities {
+				payload = binary.BigEndian.AppendUint32(payload, uint32(c))
+			}
+			attrs = appendAttr(attrs, flagOptional|flagTransitive, attrCommunities, payload)
+		}
+		if len(u.ExtCommunities) > 0 {
+			payload := make([]byte, 0, 8*len(u.ExtCommunities))
+			for _, e := range u.ExtCommunities {
+				payload = append(payload, e[:]...)
+			}
+			attrs = appendAttr(attrs, flagOptional|flagTransitive, attrExtCommunities, payload)
+		}
+		if len(u.LargeCommunities) > 0 {
+			payload := make([]byte, 0, 12*len(u.LargeCommunities))
+			for _, l := range u.LargeCommunities {
+				payload = binary.BigEndian.AppendUint32(payload, l.Global)
+				payload = binary.BigEndian.AppendUint32(payload, l.Local1)
+				payload = binary.BigEndian.AppendUint32(payload, l.Local2)
+			}
+			attrs = appendAttr(attrs, flagOptional|flagTransitive, attrLargeCommunities, payload)
+		}
+		if v6 {
+			if !u.NextHop.Is6() {
+				return nil, fmt.Errorf("bgp: IPv6 update with next hop %v", u.NextHop)
+			}
+			payload := make([]byte, 0, 5+16+len(u.NLRI)*17)
+			payload = binary.BigEndian.AppendUint16(payload, AFIIPv6)
+			payload = append(payload, SAFIUnicast, 16)
+			nh := u.NextHop.As16()
+			payload = append(payload, nh[:]...)
+			payload = append(payload, 0) // reserved
+			for _, p := range u.NLRI {
+				payload = appendPrefix(payload, p)
+			}
+			attrs = appendAttr(attrs, flagOptional, attrMPReachNLRI, payload)
+		}
+	}
+	if v6 && len(u.Withdrawn) > 0 {
+		payload := make([]byte, 0, 3+len(u.Withdrawn)*17)
+		payload = binary.BigEndian.AppendUint16(payload, AFIIPv6)
+		payload = append(payload, SAFIUnicast)
+		for _, p := range u.Withdrawn {
+			payload = appendPrefix(payload, p)
+		}
+		attrs = appendAttr(attrs, flagOptional, attrMPUnreachNLRI, payload)
+	}
+	if len(attrs) > 0xFFFF {
+		return nil, errors.New("bgp: path attributes field too long")
+	}
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(attrs)))
+	dst = append(dst, attrs...)
+
+	// Classic NLRI (IPv4 only).
+	if !v6 {
+		for _, p := range u.NLRI {
+			dst = appendPrefix(dst, p)
+		}
+	}
+	return dst, nil
+}
+
+func (u *Update) unmarshalBody(body []byte) error {
+	*u = Update{}
+	if len(body) < 4 {
+		return ErrShortMessage
+	}
+	wlen := int(binary.BigEndian.Uint16(body[0:2]))
+	if len(body) < 2+wlen+2 {
+		return ErrShortMessage
+	}
+	withdrawn4, err := parsePrefixes(body[2:2+wlen], false)
+	if err != nil {
+		return err
+	}
+	u.Withdrawn = withdrawn4
+	rest := body[2+wlen:]
+	alen := int(binary.BigEndian.Uint16(rest[0:2]))
+	if len(rest) < 2+alen {
+		return ErrShortMessage
+	}
+	attrs := rest[2 : 2+alen]
+	nlri := rest[2+alen:]
+
+	for len(attrs) > 0 {
+		if len(attrs) < 3 {
+			return ErrShortMessage
+		}
+		flags, typ := attrs[0], attrs[1]
+		var plen, hdr int
+		if flags&flagExtLen != 0 {
+			if len(attrs) < 4 {
+				return ErrShortMessage
+			}
+			plen, hdr = int(binary.BigEndian.Uint16(attrs[2:4])), 4
+		} else {
+			plen, hdr = int(attrs[2]), 3
+		}
+		if len(attrs) < hdr+plen {
+			return ErrShortMessage
+		}
+		payload := attrs[hdr : hdr+plen]
+		attrs = attrs[hdr+plen:]
+
+		switch typ {
+		case attrOrigin:
+			if plen != 1 {
+				return fmt.Errorf("bgp: ORIGIN length %d", plen)
+			}
+			u.Origin = Origin(payload[0])
+		case attrASPath:
+			path, err := parseASPathAttr(payload)
+			if err != nil {
+				return err
+			}
+			u.ASPath = path
+		case attrNextHop:
+			if plen != 4 {
+				return fmt.Errorf("bgp: NEXT_HOP length %d", plen)
+			}
+			u.NextHop = netip.AddrFrom4([4]byte(payload))
+		case attrMED:
+			if plen != 4 {
+				return fmt.Errorf("bgp: MED length %d", plen)
+			}
+			u.MED, u.HasMED = binary.BigEndian.Uint32(payload), true
+		case attrLocalPref:
+			if plen != 4 {
+				return fmt.Errorf("bgp: LOCAL_PREF length %d", plen)
+			}
+			u.LocalPref, u.HasLocalPref = binary.BigEndian.Uint32(payload), true
+		case attrCommunities:
+			if plen%4 != 0 {
+				return fmt.Errorf("bgp: COMMUNITIES length %d not multiple of 4", plen)
+			}
+			u.Communities = make([]Community, 0, plen/4)
+			for i := 0; i < plen; i += 4 {
+				u.Communities = append(u.Communities, Community(binary.BigEndian.Uint32(payload[i:i+4])))
+			}
+		case attrExtCommunities:
+			if plen%8 != 0 {
+				return fmt.Errorf("bgp: EXTENDED_COMMUNITIES length %d not multiple of 8", plen)
+			}
+			u.ExtCommunities = make([]ExtendedCommunity, 0, plen/8)
+			for i := 0; i < plen; i += 8 {
+				u.ExtCommunities = append(u.ExtCommunities, ExtendedCommunity(payload[i:i+8]))
+			}
+		case attrLargeCommunities:
+			if plen%12 != 0 {
+				return fmt.Errorf("bgp: LARGE_COMMUNITY length %d not multiple of 12", plen)
+			}
+			u.LargeCommunities = make([]LargeCommunity, 0, plen/12)
+			for i := 0; i < plen; i += 12 {
+				u.LargeCommunities = append(u.LargeCommunities, LargeCommunity{
+					Global: binary.BigEndian.Uint32(payload[i : i+4]),
+					Local1: binary.BigEndian.Uint32(payload[i+4 : i+8]),
+					Local2: binary.BigEndian.Uint32(payload[i+8 : i+12]),
+				})
+			}
+		case attrMPReachNLRI:
+			if err := u.parseMPReach(payload); err != nil {
+				return err
+			}
+		case attrMPUnreachNLRI:
+			if err := u.parseMPUnreach(payload); err != nil {
+				return err
+			}
+		default:
+			// Unknown optional attributes are tolerated (and dropped);
+			// unknown well-known attributes are a protocol error.
+			if flags&flagOptional == 0 {
+				return fmt.Errorf("bgp: unrecognised well-known attribute %d", typ)
+			}
+		}
+	}
+
+	nlri4, err := parsePrefixes(nlri, false)
+	if err != nil {
+		return err
+	}
+	u.NLRI = append(u.NLRI, nlri4...)
+	return nil
+}
+
+func parseASPathAttr(payload []byte) (ASPath, error) {
+	var path ASPath
+	for len(payload) > 0 {
+		if len(payload) < 2 {
+			return nil, ErrShortMessage
+		}
+		segType, count := payload[0], int(payload[1])
+		if segType != 2 {
+			return nil, fmt.Errorf("bgp: unsupported AS_PATH segment type %d", segType)
+		}
+		need := 2 + count*4
+		if len(payload) < need {
+			return nil, ErrShortMessage
+		}
+		for i := 0; i < count; i++ {
+			path = append(path, binary.BigEndian.Uint32(payload[2+i*4:6+i*4]))
+		}
+		payload = payload[need:]
+	}
+	return path, nil
+}
+
+func (u *Update) parseMPReach(payload []byte) error {
+	if len(payload) < 5 {
+		return ErrShortMessage
+	}
+	afi := binary.BigEndian.Uint16(payload[0:2])
+	safi := payload[2]
+	nhLen := int(payload[3])
+	if afi != AFIIPv6 || safi != SAFIUnicast {
+		return fmt.Errorf("bgp: unsupported MP_REACH AFI/SAFI %d/%d", afi, safi)
+	}
+	if nhLen != 16 && nhLen != 32 {
+		return fmt.Errorf("bgp: MP_REACH next hop length %d", nhLen)
+	}
+	if len(payload) < 4+nhLen+1 {
+		return ErrShortMessage
+	}
+	u.NextHop = netip.AddrFrom16([16]byte(payload[4:20]))
+	nlri := payload[4+nhLen+1:]
+	prefixes, err := parsePrefixes(nlri, true)
+	if err != nil {
+		return err
+	}
+	u.NLRI = append(u.NLRI, prefixes...)
+	return nil
+}
+
+func (u *Update) parseMPUnreach(payload []byte) error {
+	if len(payload) < 3 {
+		return ErrShortMessage
+	}
+	afi := binary.BigEndian.Uint16(payload[0:2])
+	safi := payload[2]
+	if afi != AFIIPv6 || safi != SAFIUnicast {
+		return fmt.Errorf("bgp: unsupported MP_UNREACH AFI/SAFI %d/%d", afi, safi)
+	}
+	prefixes, err := parsePrefixes(payload[3:], true)
+	if err != nil {
+		return err
+	}
+	u.Withdrawn = append(u.Withdrawn, prefixes...)
+	return nil
+}

@@ -1,0 +1,375 @@
+package bgp
+
+import (
+	"bytes"
+	"net/netip"
+	"reflect"
+	"testing"
+)
+
+func mustPrefix(s string) netip.Prefix { return netip.MustParsePrefix(s) }
+func mustAddr(s string) netip.Addr     { return netip.MustParseAddr(s) }
+
+func TestKeepaliveRoundTrip(t *testing.T) {
+	b, err := Marshal(&Keepalive{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != HeaderLen {
+		t.Fatalf("keepalive length = %d, want %d", len(b), HeaderLen)
+	}
+	m, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.MsgType() != MsgKeepalive {
+		t.Fatalf("type = %v", m.MsgType())
+	}
+}
+
+func TestOpenRoundTrip(t *testing.T) {
+	in := &Open{
+		Version:  4,
+		ASN:      4259840000, // needs 4 octets
+		HoldTime: 90,
+		RouterID: mustAddr("192.0.2.1"),
+		Capabilities: []Capability{
+			NewMPCapability(AFIIPv4),
+			NewMPCapability(AFIIPv6),
+			NewFourOctetASCapability(4259840000),
+		},
+	}
+	b, err := Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, ok := m.(*Open)
+	if !ok {
+		t.Fatalf("got %T", m)
+	}
+	if out.ASN != in.ASN {
+		t.Errorf("ASN = %d, want %d (4-octet capability must win over AS_TRANS)", out.ASN, in.ASN)
+	}
+	if out.HoldTime != 90 || out.Version != 4 {
+		t.Errorf("hold/version = %d/%d", out.HoldTime, out.Version)
+	}
+	if out.RouterID != in.RouterID {
+		t.Errorf("RouterID = %v", out.RouterID)
+	}
+	if !out.SupportsAFI(AFIIPv6) || !out.SupportsAFI(AFIIPv4) {
+		t.Error("MP capabilities lost")
+	}
+}
+
+func TestOpenSmallASN(t *testing.T) {
+	in := &Open{Version: 4, ASN: 64500, HoldTime: 180, RouterID: mustAddr("10.0.0.1")}
+	b, err := Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.(*Open).ASN; got != 64500 {
+		t.Errorf("ASN = %d", got)
+	}
+}
+
+func TestNotificationRoundTrip(t *testing.T) {
+	in := &Notification{Code: NotifCease, Subcode: 2, Data: []byte("bye")}
+	b, err := Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := m.(*Notification)
+	if out.Code != in.Code || out.Subcode != in.Subcode || !bytes.Equal(out.Data, in.Data) {
+		t.Errorf("round trip = %+v", out)
+	}
+	if out.Error() == "" {
+		t.Error("Notification.Error empty")
+	}
+}
+
+func sampleUpdateV4() *Update {
+	return &Update{
+		Origin:       OriginIGP,
+		ASPath:       ASPath{6939, 64500},
+		NextHop:      mustAddr("203.0.113.7"),
+		MED:          50,
+		HasMED:       true,
+		LocalPref:    100,
+		HasLocalPref: true,
+		Communities: []Community{
+			NewCommunity(0, 15169),
+			NewCommunity(64500, 64500),
+			BlackholeWellKnown,
+		},
+		ExtCommunities: []ExtendedCommunity{
+			NewTwoOctetASExtended(ExtSubTypePrependAction, 64500, 15169),
+		},
+		LargeCommunities: []LargeCommunity{{Global: 64500, Local1: 0, Local2: 263075}},
+		NLRI: []netip.Prefix{
+			mustPrefix("198.51.100.0/24"),
+			mustPrefix("203.0.113.0/25"),
+			mustPrefix("10.0.0.0/8"),
+		},
+	}
+}
+
+func TestUpdateRoundTripIPv4(t *testing.T) {
+	in := sampleUpdateV4()
+	b, err := Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := m.(*Update)
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip mismatch:\n in  %+v\n out %+v", in, out)
+	}
+}
+
+func TestUpdateRoundTripIPv6(t *testing.T) {
+	in := &Update{
+		Origin:      OriginIncomplete,
+		ASPath:      ASPath{64500, 64501, 64501, 64501},
+		NextHop:     mustAddr("2001:db8::1"),
+		Communities: []Community{NewCommunity(0, 6939)},
+		NLRI: []netip.Prefix{
+			mustPrefix("2001:db8:1000::/36"),
+			mustPrefix("2001:db8::/32"),
+		},
+	}
+	b, err := Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := m.(*Update)
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip mismatch:\n in  %+v\n out %+v", in, out)
+	}
+}
+
+func TestUpdateWithdrawOnlyIPv4(t *testing.T) {
+	in := &Update{Withdrawn: []netip.Prefix{mustPrefix("198.51.100.0/24")}}
+	b, err := Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := mustUnmarshalUpdate(t, b)
+	if len(out.NLRI) != 0 || len(out.Withdrawn) != 1 || out.Withdrawn[0] != in.Withdrawn[0] {
+		t.Errorf("withdraw round trip = %+v", out)
+	}
+}
+
+func TestUpdateWithdrawOnlyIPv6(t *testing.T) {
+	in := &Update{Withdrawn: []netip.Prefix{mustPrefix("2001:db8::/32")}}
+	b, err := Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := mustUnmarshalUpdate(t, b)
+	if len(out.Withdrawn) != 1 || out.Withdrawn[0] != in.Withdrawn[0] {
+		t.Errorf("v6 withdraw round trip = %+v", out)
+	}
+}
+
+func mustUnmarshalUpdate(t *testing.T, b []byte) *Update {
+	t.Helper()
+	m, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, ok := m.(*Update)
+	if !ok {
+		t.Fatalf("got %T", m)
+	}
+	return u
+}
+
+func TestUpdateManyCommunitiesExtendedLength(t *testing.T) {
+	// >63 communities pushes the attribute payload past 255 bytes and
+	// forces the extended-length flag.
+	in := &Update{
+		Origin:  OriginIGP,
+		ASPath:  ASPath{64500},
+		NextHop: mustAddr("192.0.2.1"),
+		NLRI:    []netip.Prefix{mustPrefix("198.51.100.0/24")},
+	}
+	for i := 0; i < 100; i++ {
+		in.Communities = append(in.Communities, NewCommunity(64500, uint16(i)))
+	}
+	b, err := Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := mustUnmarshalUpdate(t, b)
+	if len(out.Communities) != 100 {
+		t.Fatalf("communities = %d", len(out.Communities))
+	}
+	if !reflect.DeepEqual(in.Communities, out.Communities) {
+		t.Error("community list mismatch after extended-length encoding")
+	}
+}
+
+func TestNewUpdateFromRouteAndBack(t *testing.T) {
+	r := Route{
+		Prefix:      mustPrefix("198.51.100.0/24"),
+		NextHop:     mustAddr("203.0.113.9"),
+		ASPath:      ASPath{64501},
+		Origin:      OriginIGP,
+		Communities: []Community{NewCommunity(0, 15169)},
+	}
+	u := NewUpdateFromRoute(r)
+	routes := u.Routes()
+	if len(routes) != 1 {
+		t.Fatalf("routes = %d", len(routes))
+	}
+	got := routes[0]
+	if got.Prefix != r.Prefix || got.NextHop != r.NextHop || got.PeerAS() != 64501 {
+		t.Errorf("route round trip = %+v", got)
+	}
+}
+
+func TestUnmarshalRejectsCorruptMessages(t *testing.T) {
+	good, _ := Marshal(sampleUpdateV4())
+
+	t.Run("short", func(t *testing.T) {
+		if _, err := Unmarshal(good[:10]); err == nil {
+			t.Error("want error")
+		}
+	})
+	t.Run("bad marker", func(t *testing.T) {
+		b := bytes.Clone(good)
+		b[0] = 0
+		if _, err := Unmarshal(b); err == nil {
+			t.Error("want error")
+		}
+	})
+	t.Run("bad length field", func(t *testing.T) {
+		b := bytes.Clone(good)
+		b[16], b[17] = 0xFF, 0xFF
+		if _, err := Unmarshal(b); err == nil {
+			t.Error("want error")
+		}
+	})
+	t.Run("unknown type", func(t *testing.T) {
+		b := bytes.Clone(good)
+		b[18] = 99
+		if _, err := Unmarshal(b); err == nil {
+			t.Error("want error")
+		}
+	})
+	t.Run("truncated body", func(t *testing.T) {
+		// Chop the body but fix the length field so framing passes.
+		b := bytes.Clone(good[:len(good)-3])
+		b[16] = byte(len(b) >> 8)
+		b[17] = byte(len(b))
+		if _, err := Unmarshal(b); err == nil {
+			t.Error("want error")
+		}
+	})
+}
+
+func TestReadWriteMessageStream(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := []Message{
+		&Open{Version: 4, ASN: 64500, HoldTime: 90, RouterID: mustAddr("10.0.0.1")},
+		&Keepalive{},
+		sampleUpdateV4(),
+		&Notification{Code: NotifCease},
+	}
+	for _, m := range msgs {
+		if err := WriteMessage(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range msgs {
+		got, err := ReadMessage(&buf)
+		if err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		if got.MsgType() != want.MsgType() {
+			t.Errorf("message %d type = %v, want %v", i, got.MsgType(), want.MsgType())
+		}
+	}
+	if _, err := ReadMessage(&buf); err == nil {
+		t.Error("want EOF after last message")
+	}
+}
+
+func TestParsePrefixesRejectsHostBits(t *testing.T) {
+	// 198.51.100.1/24 has host bits set — encode manually.
+	raw := []byte{24, 198, 51, 100}
+	if _, err := parsePrefixes(raw, false); err != nil {
+		t.Fatalf("clean prefix rejected: %v", err)
+	}
+	raw2 := append([]byte{25}, 198, 51, 100, 0x80)
+	if _, err := parsePrefixes(raw2, false); err != nil {
+		t.Fatalf("/25 rejected: %v", err)
+	}
+	bad := []byte{33, 1, 2, 3, 4, 0}
+	if _, err := parsePrefixes(bad, false); err == nil {
+		t.Error("prefix length 33 accepted")
+	}
+}
+
+func TestRouteValidate(t *testing.T) {
+	ok := Route{Prefix: mustPrefix("198.51.100.0/24"), NextHop: mustAddr("10.0.0.1"), ASPath: ASPath{1}}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid route rejected: %v", err)
+	}
+	cases := []Route{
+		{},
+		{Prefix: mustPrefix("198.51.100.0/24")},
+		{Prefix: mustPrefix("198.51.100.0/24"), NextHop: mustAddr("2001:db8::1"), ASPath: ASPath{1}},
+		{Prefix: mustPrefix("198.51.100.0/24"), NextHop: mustAddr("10.0.0.1")},
+	}
+	for i, r := range cases {
+		if err := r.Validate(); err == nil {
+			t.Errorf("case %d: invalid route accepted", i)
+		}
+	}
+}
+
+func TestRouteCloneIndependence(t *testing.T) {
+	r := Route{
+		Prefix:      mustPrefix("198.51.100.0/24"),
+		NextHop:     mustAddr("10.0.0.1"),
+		ASPath:      ASPath{1, 2},
+		Communities: []Community{NewCommunity(1, 1)},
+	}
+	c := r.Clone()
+	c.ASPath[0] = 99
+	c.Communities[0] = NewCommunity(9, 9)
+	if r.ASPath[0] != 1 || r.Communities[0] != NewCommunity(1, 1) {
+		t.Error("Clone aliases the original")
+	}
+}
+
+func TestRouteCommunityCount(t *testing.T) {
+	r := Route{
+		Communities:      []Community{1, 2, 3},
+		ExtCommunities:   []ExtendedCommunity{{}},
+		LargeCommunities: []LargeCommunity{{}, {}},
+	}
+	if got := r.CommunityCount(); got != 6 {
+		t.Errorf("CommunityCount = %d, want 6", got)
+	}
+}

@@ -1,0 +1,63 @@
+package collector
+
+import (
+	"context"
+	"fmt"
+
+	"ixplight/internal/dictionary"
+	"ixplight/internal/lg"
+	"ixplight/internal/rsconfig"
+)
+
+// Collect crawls a looking glass into one snapshot, following the §3
+// recipe: fetch the peer summary first, then every peer's accepted
+// routes, recording only the count of filtered ones.
+func Collect(ctx context.Context, client *lg.Client, date string) (*Snapshot, error) {
+	status, err := client.Status(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("collector: status: %w", err)
+	}
+	neighbors, err := client.Neighbors(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("collector: neighbors: %w", err)
+	}
+	snap := &Snapshot{IXP: status.IXP, Date: date}
+	for _, n := range neighbors {
+		snap.Members = append(snap.Members, Member{
+			ASN: n.ASN, Name: n.Description, IPv4: n.IPv4, IPv6: n.IPv6,
+		})
+		snap.FilteredCount += n.RoutesFiltered
+		if n.RoutesAccepted == 0 {
+			continue
+		}
+		routes, err := client.RoutesReceived(ctx, n.ASN)
+		if err != nil {
+			return nil, fmt.Errorf("collector: routes of AS%d: %w", n.ASN, err)
+		}
+		snap.Routes = append(snap.Routes, routes...)
+	}
+	snap.Normalize()
+	return snap, nil
+}
+
+// FetchDictionary builds the §3 dictionary for one IXP the way the
+// paper does: fetch the route server's configuration text from the LG,
+// parse its community definitions, and union them with the website
+// documentation (which the caller supplies — it is scraped, not served
+// by the LG).
+func FetchDictionary(ctx context.Context, client *lg.Client, websiteEntries []dictionary.Entry) (*dictionary.Dictionary, error) {
+	status, err := client.Status(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("collector: status: %w", err)
+	}
+	text, err := client.ConfigRaw(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("collector: config: %w", err)
+	}
+	defs, err := rsconfig.Parse(text)
+	if err != nil {
+		return nil, fmt.Errorf("collector: parse config: %w", err)
+	}
+	entries := dictionary.UnionEntries(rsconfig.Entries(status.IXP, defs), websiteEntries)
+	return dictionary.FromEntries(status.IXP, entries), nil
+}

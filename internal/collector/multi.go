@@ -1,0 +1,83 @@
+package collector
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+
+	"ixplight/internal/lg"
+)
+
+// Target is one looking glass to crawl in a multi-IXP collection run.
+type Target struct {
+	// Name labels the target in results (usually the IXP name).
+	Name string
+	// URL is the LG base URL.
+	URL string
+	// Options tune this target's client. Politeness is per-LG: the §3
+	// single-connection rule applies to each looking glass, not to the
+	// collection as a whole.
+	Options lg.ClientOptions
+}
+
+// Result is the outcome of crawling one target. Exactly one of
+// Snapshot/Err is set.
+type Result struct {
+	Target   Target
+	Snapshot *Snapshot
+	Err      error
+	Duration time.Duration
+	Requests int
+}
+
+// CollectAll crawls every target concurrently (at most parallel at a
+// time; 0 means all at once) and returns one result per target, in
+// target order. A failing LG does not abort the others — the paper's
+// collection had to tolerate individual LG outages.
+func CollectAll(ctx context.Context, targets []Target, date string, parallel int) []Result {
+	if parallel <= 0 || parallel > len(targets) {
+		parallel = len(targets)
+	}
+	results := make([]Result, len(targets))
+	sem := make(chan struct{}, parallel)
+	var wg sync.WaitGroup
+	for i, tgt := range targets {
+		wg.Add(1)
+		go func(i int, tgt Target) {
+			defer wg.Done()
+			select {
+			case sem <- struct{}{}:
+				defer func() { <-sem }()
+			case <-ctx.Done():
+				results[i] = Result{Target: tgt, Err: ctx.Err()}
+				return
+			}
+			start := time.Now()
+			client := lg.NewClient(tgt.URL, tgt.Options)
+			snap, err := Collect(ctx, client, date)
+			results[i] = Result{
+				Target:   tgt,
+				Snapshot: snap,
+				Err:      err,
+				Duration: time.Since(start),
+				Requests: client.Requests,
+			}
+		}(i, tgt)
+	}
+	wg.Wait()
+	return results
+}
+
+// Succeeded filters the successful snapshots, sorted by IXP name for
+// deterministic downstream processing.
+func Succeeded(results []Result) []*Snapshot {
+	var out []*Snapshot
+	for _, r := range results {
+		if r.Err == nil && r.Snapshot != nil {
+			out = append(out, r.Snapshot)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].IXP < out[j].IXP })
+	return out
+}

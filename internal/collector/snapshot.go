@@ -1,0 +1,278 @@
+// Package collector implements the paper's §3 data pipeline: daily
+// snapshots of an IXP route server (member list plus every member's
+// accepted routes) assembled by crawling a looking-glass API, and the
+// dataset files those snapshots persist into.
+package collector
+
+import (
+	"compress/gzip"
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"ixplight/internal/bgp"
+)
+
+// Member is one AS present at the route server in a snapshot. The
+// collection captures peers with active sessions regardless of whether
+// they share routes (§3).
+type Member struct {
+	ASN  uint32 `json:"asn"`
+	Name string `json:"name"`
+	IPv4 bool   `json:"ipv4"`
+	IPv6 bool   `json:"ipv6"`
+}
+
+// Snapshot is one day's view of one IXP route server: the member list
+// and the accepted routes of every member (the announcing member is
+// the first hop of each route's AS path). FilteredCount records how
+// many routes the RS rejected, without storing them.
+type Snapshot struct {
+	IXP           string      `json:"ixp"`
+	Date          string      `json:"date"` // YYYY-MM-DD
+	Members       []Member    `json:"members"`
+	Routes        []bgp.Route `json:"routes"`
+	FilteredCount int         `json:"filtered_count"`
+}
+
+// Day parses the snapshot date.
+func (s *Snapshot) Day() (time.Time, error) {
+	return time.Parse("2006-01-02", s.Date)
+}
+
+// MemberSet returns the set of member ASNs, the §5.5 membership test.
+func (s *Snapshot) MemberSet() map[uint32]bool {
+	set := make(map[uint32]bool, len(s.Members))
+	for _, m := range s.Members {
+		set[m.ASN] = true
+	}
+	return set
+}
+
+// MembersV4 counts members with an IPv4 session.
+func (s *Snapshot) MembersV4() int {
+	n := 0
+	for _, m := range s.Members {
+		if m.IPv4 {
+			n++
+		}
+	}
+	return n
+}
+
+// MembersV6 counts members with an IPv6 session.
+func (s *Snapshot) MembersV6() int {
+	n := 0
+	for _, m := range s.Members {
+		if m.IPv6 {
+			n++
+		}
+	}
+	return n
+}
+
+// RoutesFamily returns the routes of one family (v6 selects IPv6).
+func (s *Snapshot) RoutesFamily(v6 bool) []bgp.Route {
+	var out []bgp.Route
+	for _, r := range s.Routes {
+		if r.IsIPv6() == v6 {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Normalize sorts members by ASN and routes by (family, prefix,
+// announcing peer) so that snapshots serialise deterministically.
+func (s *Snapshot) Normalize() {
+	sort.Slice(s.Members, func(i, j int) bool { return s.Members[i].ASN < s.Members[j].ASN })
+	sort.Slice(s.Routes, func(i, j int) bool {
+		a, b := s.Routes[i], s.Routes[j]
+		if a.IsIPv6() != b.IsIPv6() {
+			return !a.IsIPv6()
+		}
+		if a.Prefix.Addr() != b.Prefix.Addr() {
+			return a.Prefix.Addr().Less(b.Prefix.Addr())
+		}
+		if a.Prefix.Bits() != b.Prefix.Bits() {
+			return a.Prefix.Bits() < b.Prefix.Bits()
+		}
+		return a.PeerAS() < b.PeerAS()
+	})
+}
+
+// Dataset is a time-ordered series of snapshots for one IXP.
+type Dataset struct {
+	IXP       string     `json:"ixp"`
+	Snapshots []Snapshot `json:"snapshots"`
+}
+
+// Codec selects a snapshot serialisation (the snapshot-codec ablation).
+type Codec int
+
+// Available codecs.
+const (
+	CodecJSON Codec = iota
+	CodecJSONGzip
+	CodecGob
+	CodecGobGzip
+)
+
+// String implements fmt.Stringer.
+func (c Codec) String() string {
+	switch c {
+	case CodecJSON:
+		return "json"
+	case CodecJSONGzip:
+		return "json+gzip"
+	case CodecGob:
+		return "gob"
+	case CodecGobGzip:
+		return "gob+gzip"
+	default:
+		return fmt.Sprintf("Codec(%d)", int(c))
+	}
+}
+
+// Ext returns the conventional file extension for the codec.
+func (c Codec) Ext() string {
+	switch c {
+	case CodecJSON:
+		return ".json"
+	case CodecJSONGzip:
+		return ".json.gz"
+	case CodecGob:
+		return ".gob"
+	case CodecGobGzip:
+		return ".gob.gz"
+	default:
+		return ".bin"
+	}
+}
+
+// WriteSnapshot serialises s to w using the codec.
+func WriteSnapshot(w io.Writer, s *Snapshot, codec Codec) error {
+	switch codec {
+	case CodecJSON:
+		return json.NewEncoder(w).Encode(s)
+	case CodecJSONGzip:
+		zw := gzip.NewWriter(w)
+		if err := json.NewEncoder(zw).Encode(s); err != nil {
+			zw.Close()
+			return err
+		}
+		return zw.Close()
+	case CodecGob:
+		return gob.NewEncoder(w).Encode(s)
+	case CodecGobGzip:
+		zw := gzip.NewWriter(w)
+		if err := gob.NewEncoder(zw).Encode(s); err != nil {
+			zw.Close()
+			return err
+		}
+		return zw.Close()
+	default:
+		return fmt.Errorf("collector: unknown codec %v", codec)
+	}
+}
+
+// ReadSnapshot deserialises one snapshot from r.
+func ReadSnapshot(r io.Reader, codec Codec) (*Snapshot, error) {
+	var s Snapshot
+	switch codec {
+	case CodecJSON:
+		if err := json.NewDecoder(r).Decode(&s); err != nil {
+			return nil, err
+		}
+	case CodecJSONGzip:
+		zr, err := gzip.NewReader(r)
+		if err != nil {
+			return nil, err
+		}
+		defer zr.Close()
+		if err := json.NewDecoder(zr).Decode(&s); err != nil {
+			return nil, err
+		}
+	case CodecGob:
+		if err := gob.NewDecoder(r).Decode(&s); err != nil {
+			return nil, err
+		}
+	case CodecGobGzip:
+		zr, err := gzip.NewReader(r)
+		if err != nil {
+			return nil, err
+		}
+		defer zr.Close()
+		if err := gob.NewDecoder(zr).Decode(&s); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("collector: unknown codec %v", codec)
+	}
+	return &s, nil
+}
+
+// SaveSnapshot writes s into dir as <ixp>-<date><ext>, creating the
+// directory if needed, and returns the file path.
+func SaveSnapshot(dir string, s *Snapshot, codec Codec) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, fmt.Sprintf("%s-%s%s", sanitizeName(s.IXP), s.Date, codec.Ext()))
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	if err := WriteSnapshot(f, s, codec); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// LoadSnapshot reads a snapshot file written by SaveSnapshot, deducing
+// the codec from the extension.
+func LoadSnapshot(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadSnapshot(f, codecForPath(path))
+}
+
+func codecForPath(path string) Codec {
+	switch {
+	case hasSuffix(path, ".json.gz"):
+		return CodecJSONGzip
+	case hasSuffix(path, ".json"):
+		return CodecJSON
+	case hasSuffix(path, ".gob.gz"):
+		return CodecGobGzip
+	case hasSuffix(path, ".gob"):
+		return CodecGob
+	default:
+		return CodecJSON
+	}
+}
+
+func hasSuffix(s, suf string) bool {
+	return len(s) >= len(suf) && s[len(s)-len(suf):] == suf
+}
+
+func sanitizeName(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '.':
+		default:
+			b[i] = '_'
+		}
+	}
+	return string(b)
+}

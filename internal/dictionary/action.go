@@ -1,0 +1,81 @@
+package dictionary
+
+// ActionType is the paper's community taxonomy: informational tags vs
+// the four traffic-engineering action groups of §5.3.
+type ActionType int
+
+// Community classes. Informational is the zero value so that an
+// unpopulated classification reads as "no action".
+const (
+	Informational ActionType = iota
+	DoNotAnnounceTo
+	AnnounceOnlyTo
+	PrependTo
+	Blackhole
+)
+
+// ActionTypes lists the four action groups in the order the paper's
+// tables present them.
+var ActionTypes = []ActionType{DoNotAnnounceTo, AnnounceOnlyTo, PrependTo, Blackhole}
+
+// String implements fmt.Stringer with the paper's names.
+func (a ActionType) String() string {
+	switch a {
+	case Informational:
+		return "informational"
+	case DoNotAnnounceTo:
+		return "do-not-announce-to"
+	case AnnounceOnlyTo:
+		return "announce-only-to"
+	case PrependTo:
+		return "prepend-to"
+	case Blackhole:
+		return "blackholing"
+	default:
+		return "unknown"
+	}
+}
+
+// IsAction reports whether a is one of the four action groups.
+func (a ActionType) IsAction() bool { return a != Informational }
+
+// TargetKind says what an action community points at.
+type TargetKind int
+
+// Target kinds.
+const (
+	TargetNone TargetKind = iota // informational or blackhole: no AS target
+	TargetAll                    // applies to every peer
+	TargetPeer                   // applies to one specific peer ASN
+)
+
+// String implements fmt.Stringer.
+func (t TargetKind) String() string {
+	switch t {
+	case TargetAll:
+		return "all"
+	case TargetPeer:
+		return "peer"
+	default:
+		return "none"
+	}
+}
+
+// Class is the classification of one community value under one IXP's
+// scheme.
+type Class struct {
+	// Known reports whether the IXP defines this community (the
+	// "IXP-defined" vs "unknown" split of Fig. 1).
+	Known bool
+	// Action is the community group; Informational when the community
+	// carries information rather than a request.
+	Action ActionType
+	// Target and TargetASN identify whom an action applies to.
+	Target    TargetKind
+	TargetASN uint32
+	// PrependCount is 1–3 for PrependTo communities.
+	PrependCount int
+}
+
+// IsAction reports whether the community is a known action community.
+func (c Class) IsAction() bool { return c.Known && c.Action.IsAction() }

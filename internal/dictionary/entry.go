@@ -1,0 +1,109 @@
+package dictionary
+
+import (
+	"fmt"
+	"sort"
+
+	"ixplight/internal/bgp"
+)
+
+// Entry is one enumerated dictionary row: a concrete community value
+// with its semantics under one IXP's scheme.
+type Entry struct {
+	Community   bgp.Community
+	IXP         string
+	Action      ActionType
+	Target      TargetKind
+	TargetASN   uint32
+	Description string
+}
+
+// Entries enumerates the scheme's full dictionary: the union of the
+// route-server configuration and the website documentation, as the
+// paper constructs it. The result is sorted by community value.
+func (s *Scheme) Entries() []Entry {
+	var out []Entry
+	add := func(c bgp.Community, a ActionType, tk TargetKind, asn uint32, desc string) {
+		out = append(out, Entry{Community: c, IXP: s.IXP, Action: a, Target: tk, TargetASN: asn, Description: desc})
+	}
+
+	add(s.DoNotAnnounceAll(), DoNotAnnounceTo, TargetAll, 0, "do not announce to any peer")
+	add(s.AnnounceAll(), AnnounceOnlyTo, TargetAll, 0, "announce to all peers")
+
+	for _, t := range s.DocumentedTargets {
+		add(s.DoNotAnnounce(t), DoNotAnnounceTo, TargetPeer, uint32(t),
+			fmt.Sprintf("do not announce to AS%d", t))
+		add(s.AnnounceOnly(t), AnnounceOnlyTo, TargetPeer, uint32(t),
+			fmt.Sprintf("announce only to AS%d", t))
+		if s.SupportsPrepend {
+			for n := 1; n <= 3; n++ {
+				c, _ := s.Prepend(n, t)
+				add(c, PrependTo, TargetPeer, uint32(t),
+					fmt.Sprintf("prepend %dx towards AS%d", n, t))
+			}
+		}
+	}
+	if s.SupportsBlackhole {
+		c, _ := s.BlackholeCommunity()
+		add(c, Blackhole, TargetNone, 0, "blackhole traffic for the prefix")
+	}
+	for k := 0; k < s.InfoCount; k++ {
+		c, _ := s.Info(k)
+		add(c, Informational, TargetNone, 0, fmt.Sprintf("informational tag #%d", k))
+	}
+
+	sort.Slice(out, func(i, j int) bool { return out[i].Community < out[j].Community })
+	return out
+}
+
+// RSConfigEntries simulates the (incomplete) community list extracted
+// from the route-server configuration file: everything except the
+// website-only tail of documented targets. The paper found exactly
+// this gap, which is why it unions the two sources.
+func (s *Scheme) RSConfigEntries() []Entry {
+	missing := make(map[uint32]bool)
+	// ~10% of targets (at least one) are documented only on the website.
+	tail := max(1, len(s.DocumentedTargets)/10)
+	for _, t := range s.DocumentedTargets[len(s.DocumentedTargets)-tail:] {
+		missing[uint32(t)] = true
+	}
+	var out []Entry
+	for _, e := range s.Entries() {
+		if e.Target == TargetPeer && missing[e.TargetASN] {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// WebsiteEntries simulates the website documentation: all action
+// communities, but not the informational tags (which only the RS
+// config describes).
+func (s *Scheme) WebsiteEntries() []Entry {
+	var out []Entry
+	for _, e := range s.Entries() {
+		if e.Action != Informational {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// UnionEntries merges entry lists by community value, preferring the
+// first occurrence, and returns the result sorted. Building a
+// dictionary as union(RS config, website docs) reproduces §3.
+func UnionEntries(lists ...[]Entry) []Entry {
+	seen := make(map[bgp.Community]bool)
+	var out []Entry
+	for _, list := range lists {
+		for _, e := range list {
+			if !seen[e.Community] {
+				seen[e.Community] = true
+				out = append(out, e)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Community < out[j].Community })
+	return out
+}

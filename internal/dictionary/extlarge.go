@@ -1,0 +1,162 @@
+package dictionary
+
+import (
+	"fmt"
+
+	"ixplight/internal/bgp"
+)
+
+// Extended and large community schemes.
+//
+// The paper scopes its analysis to standard communities and leaves the
+// other flavours "for future work" (§4); this file implements that
+// future work. Two real-world encodings are modelled:
+//
+//   - AMS-IX's fine-grained prepending, which is only available via
+//     extended communities (§5.3): a two-octet-AS-specific value with
+//     the RS ASN as administrator, a private sub-type, and the prepend
+//     count packed with the 16-bit target in the local field.
+//
+//   - Large-community mirrors of the standard action set, which exist
+//     precisely because standard communities cannot name 32-bit
+//     targets: {rs-asn, function, target-asn} with the function
+//     selecting the action.
+//
+// Large-community function selectors.
+const (
+	LargeFnDoNotAnnounce uint32 = 0
+	LargeFnAnnounceOnly  uint32 = 1
+	LargeFnPrependBase   uint32 = 2 // 2,3,4 = prepend 1–3×
+	LargeFnBlackhole     uint32 = 666
+	LargeFnInfoBase      uint32 = 100
+)
+
+// ExtPrepend builds the extended-community prepend request: n (1–3)
+// prepends towards target. Only IXPs with SupportsExtPrepend (AMS-IX)
+// define it.
+func (s *Scheme) ExtPrepend(n int, target uint16) (bgp.ExtendedCommunity, error) {
+	if !s.SupportsExtPrepend {
+		return bgp.ExtendedCommunity{}, fmt.Errorf("dictionary: %s does not support extended-community prepending", s.IXP)
+	}
+	if n < 1 || n > 3 {
+		return bgp.ExtendedCommunity{}, fmt.Errorf("dictionary: prepend count %d out of range 1..3", n)
+	}
+	local := uint32(n)<<16 | uint32(target)
+	return bgp.NewTwoOctetASExtended(bgp.ExtSubTypePrependAction, s.RSASN, local), nil
+}
+
+// ExtInfo builds the k-th extended informational tag the route server
+// attaches (mirrors Info for the extended flavour).
+func (s *Scheme) ExtInfo(k int) bgp.ExtendedCommunity {
+	return bgp.NewTwoOctetASExtended(bgp.ExtSubTypeTrafficAction, s.RSASN, uint32(k))
+}
+
+// ClassifyExtended maps an extended community to its meaning under the
+// scheme. Values whose administrator is not the RS ASN are unknown.
+func (s *Scheme) ClassifyExtended(e bgp.ExtendedCommunity) Class {
+	if !e.IsTwoOctetAS() || e.ASN() != s.RSASN {
+		return Class{}
+	}
+	switch e.SubType() {
+	case bgp.ExtSubTypePrependAction:
+		if !s.SupportsExtPrepend {
+			return Class{}
+		}
+		local := e.LocalAdmin()
+		n := int(local >> 16)
+		target := local & 0xFFFF
+		if n < 1 || n > 3 || target == 0 {
+			return Class{}
+		}
+		return Class{Known: true, Action: PrependTo, Target: TargetPeer, TargetASN: target, PrependCount: n}
+	case bgp.ExtSubTypeTrafficAction:
+		return Class{Known: true, Action: Informational, Target: TargetNone}
+	default:
+		return Class{}
+	}
+}
+
+// Large-community builders. Targets may be full 32-bit ASNs — the
+// capability standard communities lack.
+
+// LargeDoNotAnnounce builds {rs, 0, target}; target 0 means everyone.
+func (s *Scheme) LargeDoNotAnnounce(target uint32) (bgp.LargeCommunity, error) {
+	if !s.SupportsLarge {
+		return bgp.LargeCommunity{}, fmt.Errorf("dictionary: %s does not define large communities", s.IXP)
+	}
+	return bgp.LargeCommunity{Global: uint32(s.RSASN), Local1: LargeFnDoNotAnnounce, Local2: target}, nil
+}
+
+// LargeAnnounceOnly builds {rs, 1, target}; target 0 means everyone.
+func (s *Scheme) LargeAnnounceOnly(target uint32) (bgp.LargeCommunity, error) {
+	if !s.SupportsLarge {
+		return bgp.LargeCommunity{}, fmt.Errorf("dictionary: %s does not define large communities", s.IXP)
+	}
+	return bgp.LargeCommunity{Global: uint32(s.RSASN), Local1: LargeFnAnnounceOnly, Local2: target}, nil
+}
+
+// LargePrepend builds {rs, 1+n, target}: n (1–3) prepends.
+func (s *Scheme) LargePrepend(n int, target uint32) (bgp.LargeCommunity, error) {
+	if !s.SupportsLarge {
+		return bgp.LargeCommunity{}, fmt.Errorf("dictionary: %s does not define large communities", s.IXP)
+	}
+	if !s.SupportsPrepend {
+		return bgp.LargeCommunity{}, fmt.Errorf("dictionary: %s does not support prepending", s.IXP)
+	}
+	if n < 1 || n > 3 {
+		return bgp.LargeCommunity{}, fmt.Errorf("dictionary: prepend count %d out of range 1..3", n)
+	}
+	return bgp.LargeCommunity{Global: uint32(s.RSASN), Local1: LargeFnPrependBase + uint32(n) - 1, Local2: target}, nil
+}
+
+// LargeInfo builds the k-th large informational tag.
+func (s *Scheme) LargeInfo(k int) (bgp.LargeCommunity, error) {
+	if !s.SupportsLarge {
+		return bgp.LargeCommunity{}, fmt.Errorf("dictionary: %s does not define large communities", s.IXP)
+	}
+	if k < 0 || k >= s.InfoCount {
+		return bgp.LargeCommunity{}, fmt.Errorf("dictionary: large info index %d out of range", k)
+	}
+	return bgp.LargeCommunity{Global: uint32(s.RSASN), Local1: LargeFnInfoBase + uint32(k), Local2: 0}, nil
+}
+
+// ClassifyLarge maps a large community to its meaning under the
+// scheme.
+func (s *Scheme) ClassifyLarge(l bgp.LargeCommunity) Class {
+	if !s.SupportsLarge || l.Global != uint32(s.RSASN) {
+		return Class{}
+	}
+	targetOf := func() (TargetKind, uint32) {
+		if l.Local2 == 0 {
+			return TargetAll, 0
+		}
+		return TargetPeer, l.Local2
+	}
+	switch {
+	case l.Local1 == LargeFnDoNotAnnounce:
+		tk, asn := targetOf()
+		return Class{Known: true, Action: DoNotAnnounceTo, Target: tk, TargetASN: asn}
+	case l.Local1 == LargeFnAnnounceOnly:
+		tk, asn := targetOf()
+		return Class{Known: true, Action: AnnounceOnlyTo, Target: tk, TargetASN: asn}
+	case l.Local1 >= LargeFnPrependBase && l.Local1 < LargeFnPrependBase+3:
+		if !s.SupportsPrepend {
+			return Class{}
+		}
+		tk, asn := targetOf()
+		return Class{Known: true, Action: PrependTo, Target: tk, TargetASN: asn,
+			PrependCount: int(l.Local1-LargeFnPrependBase) + 1}
+	case l.Local1 == LargeFnBlackhole:
+		if !s.SupportsBlackhole {
+			return Class{}
+		}
+		return Class{Known: true, Action: Blackhole, Target: TargetNone}
+	case l.Local1 >= LargeFnInfoBase && l.Local1 < LargeFnInfoBase+uint32(s.InfoCount):
+		if l.Local2 != 0 {
+			return Class{}
+		}
+		return Class{Known: true, Action: Informational, Target: TargetNone}
+	default:
+		return Class{}
+	}
+}

@@ -1,0 +1,176 @@
+package dictionary
+
+import (
+	"testing"
+
+	"ixplight/internal/bgp"
+)
+
+func TestExtPrependRoundTrip(t *testing.T) {
+	ams := ProfileByName("AMS-IX")
+	for n := 1; n <= 3; n++ {
+		e, err := ams.ExtPrepend(n, 15169)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl := ams.ClassifyExtended(e)
+		if !cl.Known || cl.Action != PrependTo || cl.PrependCount != n || cl.TargetASN != 15169 {
+			t.Errorf("n=%d: class = %+v", n, cl)
+		}
+	}
+}
+
+func TestExtPrependUnsupported(t *testing.T) {
+	de := ProfileByName("DE-CIX")
+	if _, err := de.ExtPrepend(1, 15169); err == nil {
+		t.Error("DE-CIX ext prepend must error")
+	}
+	ams := ProfileByName("AMS-IX")
+	if _, err := ams.ExtPrepend(0, 15169); err == nil {
+		t.Error("prepend count 0 must error")
+	}
+	if _, err := ams.ExtPrepend(4, 15169); err == nil {
+		t.Error("prepend count 4 must error")
+	}
+	// A prepend-encoded value under a non-supporting scheme is unknown.
+	e, _ := ams.ExtPrepend(2, 15169)
+	if de.ClassifyExtended(e).Known {
+		t.Error("DE-CIX must not recognise AMS-IX's ext prepend (different RS ASN)")
+	}
+}
+
+func TestExtInfoClassifies(t *testing.T) {
+	for _, s := range Profiles() {
+		e := s.ExtInfo(5)
+		cl := s.ClassifyExtended(e)
+		if !cl.Known || cl.Action != Informational {
+			t.Errorf("%s: ExtInfo class = %+v", s.IXP, cl)
+		}
+	}
+}
+
+func TestClassifyExtendedForeign(t *testing.T) {
+	s := ProfileByName("AMS-IX")
+	foreign := bgp.NewTwoOctetASExtended(bgp.ExtSubTypeRouteTarget, 4999, 1)
+	if s.ClassifyExtended(foreign).Known {
+		t.Error("foreign route-target classified as known")
+	}
+	opaque := bgp.ExtendedCommunity{0x03, 0x0c, 1, 2, 3, 4, 5, 6}
+	if s.ClassifyExtended(opaque).Known {
+		t.Error("opaque value classified as known")
+	}
+	// Malformed prepend payloads are unknown.
+	bad := bgp.NewTwoOctetASExtended(bgp.ExtSubTypePrependAction, s.RSASN, 0) // count 0
+	if s.ClassifyExtended(bad).Known {
+		t.Error("count-0 prepend classified as known")
+	}
+	bad2 := bgp.NewTwoOctetASExtended(bgp.ExtSubTypePrependAction, s.RSASN, 9<<16|15169)
+	if s.ClassifyExtended(bad2).Known {
+		t.Error("count-9 prepend classified as known")
+	}
+}
+
+func TestLargeBuildersRoundTrip(t *testing.T) {
+	s := ProfileByName("DE-CIX")
+	const wide = uint32(263075) // 32-bit-only target
+
+	dna, err := s.LargeDoNotAnnounce(wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := s.ClassifyLarge(dna)
+	if !cl.Known || cl.Action != DoNotAnnounceTo || cl.TargetASN != wide {
+		t.Errorf("large DNA class = %+v", cl)
+	}
+
+	all, _ := s.LargeDoNotAnnounce(0)
+	if cl := s.ClassifyLarge(all); !cl.Known || cl.Target != TargetAll {
+		t.Errorf("large DNA-all class = %+v", cl)
+	}
+
+	aot, _ := s.LargeAnnounceOnly(wide)
+	if cl := s.ClassifyLarge(aot); !cl.Known || cl.Action != AnnounceOnlyTo || cl.TargetASN != wide {
+		t.Errorf("large AOT class = %+v", cl)
+	}
+
+	for n := 1; n <= 3; n++ {
+		p, err := s.LargePrepend(n, wide)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cl := s.ClassifyLarge(p); !cl.Known || cl.Action != PrependTo || cl.PrependCount != n {
+			t.Errorf("large prepend %d class = %+v", n, cl)
+		}
+	}
+
+	info, err := s.LargeInfo(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl := s.ClassifyLarge(info); !cl.Known || cl.Action != Informational {
+		t.Errorf("large info class = %+v", cl)
+	}
+}
+
+func TestLargeUnsupportedIXPs(t *testing.T) {
+	for _, name := range []string{"LINX", "AMS-IX"} {
+		s := ProfileByName(name)
+		if _, err := s.LargeDoNotAnnounce(1); err == nil {
+			t.Errorf("%s: LargeDoNotAnnounce must error", name)
+		}
+		if _, err := s.LargeInfo(0); err == nil {
+			t.Errorf("%s: LargeInfo must error", name)
+		}
+		// Values that would be valid at DE-CIX are unknown here.
+		de := ProfileByName("DE-CIX")
+		v, _ := de.LargeDoNotAnnounce(15169)
+		if s.ClassifyLarge(v).Known {
+			t.Errorf("%s recognised DE-CIX's large community", name)
+		}
+	}
+}
+
+func TestClassifyLargeEdges(t *testing.T) {
+	s := ProfileByName("DE-CIX")
+	rs := uint32(s.RSASN)
+	cases := []struct {
+		l    bgp.LargeCommunity
+		want bool
+	}{
+		{bgp.LargeCommunity{Global: rs, Local1: LargeFnBlackhole, Local2: 0}, true},
+		{bgp.LargeCommunity{Global: rs, Local1: 5, Local2: 1}, false},               // gap between prepend and info
+		{bgp.LargeCommunity{Global: rs, Local1: LargeFnInfoBase, Local2: 7}, false}, // info with target set
+		{bgp.LargeCommunity{Global: rs, Local1: LargeFnInfoBase + uint32(s.InfoCount), Local2: 0}, false},
+		{bgp.LargeCommunity{Global: 64512, Local1: 0, Local2: 1}, false}, // foreign global
+	}
+	for i, tt := range cases {
+		if got := s.ClassifyLarge(tt.l).Known; got != tt.want {
+			t.Errorf("case %d (%v): Known = %v, want %v", i, tt.l, got, tt.want)
+		}
+	}
+	// Blackhole at an IXP without blackholing stays unknown.
+	ixbr := ProfileByName("IX.br-SP")
+	bh := bgp.LargeCommunity{Global: uint32(ixbr.RSASN), Local1: LargeFnBlackhole, Local2: 0}
+	if ixbr.ClassifyLarge(bh).Known {
+		t.Error("IX.br-SP large blackhole must be unknown")
+	}
+	// Prepend at an IXP without prepending stays unknown.
+	amsLike := &Scheme{IXP: "T", RSASN: 1000, InfoASN: 1001, InfoCount: 2, SupportsLarge: true}
+	p := bgp.LargeCommunity{Global: 1000, Local1: LargeFnPrependBase, Local2: 5}
+	if amsLike.ClassifyLarge(p).Known {
+		t.Error("prepend without SupportsPrepend must be unknown")
+	}
+}
+
+func TestLargePrependUnsupportedVariants(t *testing.T) {
+	de := ProfileByName("DE-CIX")
+	if _, err := de.LargePrepend(0, 1); err == nil {
+		t.Error("count 0 must error")
+	}
+	if _, err := de.LargeInfo(-1); err == nil {
+		t.Error("negative info index must error")
+	}
+	if _, err := de.LargeInfo(de.InfoCount); err == nil {
+		t.Error("out-of-range info index must error")
+	}
+}

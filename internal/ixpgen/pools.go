@@ -1,0 +1,161 @@
+package ixpgen
+
+import (
+	"math"
+	"math/rand"
+
+	"ixplight/internal/asdb"
+)
+
+// ASN ranges for synthetic entities. Everything that can be the target
+// of a standard action community must fit in 16 bits; transit hops on
+// AS paths have no such constraint and use a high 32-bit range.
+const (
+	synthMemberBase    = 30000  // synthetic RS members: 30000+
+	synthNonMemberBase = 40000  // synthetic non-member targets: 40000+
+	synthHopBase       = 100000 // downstream path hops (32-bit is fine)
+)
+
+// wellKnownMembers are the paper-named networks modelled as RS members
+// at every IXP. Hurricane Electric heads the list: it is the paper's
+// top "culprit" (Fig. 7) at all four large IXPs.
+var wellKnownMembers = []uint32{
+	asdb.ASNHurricaneElectric,
+	asdb.ASNCloudflare,
+	asdb.ASNNetflix,
+	asdb.ASNMicrosoft,
+	asdb.ASNTelia,
+	asdb.ASNGTT,
+	asdb.ASNCogent,
+	asdb.ASNLumen,
+}
+
+// brazilMembers join the member list only at IX.br-SP (§5.4 names them
+// as announce-only-to targets there).
+var brazilMembers = []uint32{
+	asdb.ASNRNP,
+	asdb.ASNNICSimet,
+	asdb.ASNItau,
+	asdb.ASNCDNetworks,
+	asdb.ASNProlink,
+	asdb.ASNSyntegra,
+}
+
+// wellKnownNonMembers are the content/cloud providers modelled as
+// *absent* from every RS: the preferred-PNI networks whose targeting
+// is ineffective (§5.5). Per-IXP ordering below decides which heads
+// the target popularity ranking.
+var wellKnownNonMembers = []uint32{
+	asdb.ASNGoogle,
+	asdb.ASNOVHcloud,
+	asdb.ASNAkamai,
+	asdb.ASNLeaseWeb,
+	asdb.ASNEdgecast,
+	asdb.ASNApple,
+	asdb.ASNMeta,
+	asdb.ASNAmazon,
+	asdb.ASNFilanco,
+}
+
+// nonMemberHeadOrder gives each IXP's most-avoided non-member first,
+// reproducing the Fig. 5/6 top targets (Google at LINX, OVHcloud at
+// AMS-IX, Filanco prominent at DE-CIX).
+var nonMemberHeadOrder = map[string][]uint32{
+	"IX.br-SP": {asdb.ASNGoogle, asdb.ASNLeaseWeb, asdb.ASNOVHcloud, asdb.ASNAkamai},
+	"DE-CIX":   {asdb.ASNGoogle, asdb.ASNFilanco, asdb.ASNLeaseWeb, asdb.ASNOVHcloud},
+	"LINX":     {asdb.ASNGoogle, asdb.ASNOVHcloud, asdb.ASNAkamai, asdb.ASNLeaseWeb},
+	"AMS-IX":   {asdb.ASNOVHcloud, asdb.ASNGoogle, asdb.ASNLeaseWeb, asdb.ASNAkamai},
+}
+
+// memberHeadOrder gives each IXP's most-avoided member first
+// (Hurricane Electric heads IX.br-SP, matching its top-community slot
+// in Fig. 5).
+var memberHeadOrder = map[string][]uint32{
+	"IX.br-SP": {asdb.ASNHurricaneElectric, asdb.ASNProlink, asdb.ASNSyntegra, asdb.ASNCloudflare, asdb.ASNNetflix},
+	"DE-CIX":   {asdb.ASNHurricaneElectric, asdb.ASNCloudflare, asdb.ASNNetflix},
+	"LINX":     {asdb.ASNHurricaneElectric, asdb.ASNCloudflare, asdb.ASNNetflix},
+	"AMS-IX":   {asdb.ASNHurricaneElectric, asdb.ASNNetflix, asdb.ASNCloudflare},
+}
+
+// targetPool is a popularity-ranked list of target ASNs with
+// precomputed Zipf cumulative weights for sampling.
+type targetPool struct {
+	asns []uint32
+	cum  []float64 // cumulative Zipf weights
+}
+
+// newTargetPool ranks head first, then tail, and precomputes the
+// sampling distribution (weight 1/(rank+2)^1.1 — heavy-tailed enough
+// that the head dominates, as Fig. 5's top-20 skew requires).
+func newTargetPool(head, tail []uint32) *targetPool {
+	seen := make(map[uint32]bool)
+	var asns []uint32
+	for _, lists := range [][]uint32{head, tail} {
+		for _, a := range lists {
+			if !seen[a] {
+				seen[a] = true
+				asns = append(asns, a)
+			}
+		}
+	}
+	p := &targetPool{asns: asns, cum: make([]float64, len(asns))}
+	total := 0.0
+	for i := range asns {
+		total += 1.0 / math.Pow(float64(i+2), 1.1)
+		p.cum[i] = total
+	}
+	return p
+}
+
+// head returns the n top-ranked ASNs (fewer if the pool is smaller).
+func (p *targetPool) head(n int) []uint32 {
+	if n > len(p.asns) {
+		n = len(p.asns)
+	}
+	if n <= 0 {
+		return nil
+	}
+	return p.asns[:n]
+}
+
+// draw picks one ASN by the Zipf distribution.
+func (p *targetPool) draw(rng *rand.Rand) uint32 {
+	if len(p.asns) == 0 {
+		return 0
+	}
+	v := rng.Float64() * p.cum[len(p.cum)-1]
+	lo, hi := 0, len(p.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if p.cum[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return p.asns[lo]
+}
+
+// drawDistinct samples n distinct ASNs (fewer if the pool is smaller).
+func (p *targetPool) drawDistinct(rng *rand.Rand, n int) []uint32 {
+	if n > len(p.asns) {
+		n = len(p.asns)
+	}
+	out := make([]uint32, 0, n)
+	seen := make(map[uint32]bool, n)
+	for attempts := 0; len(out) < n && attempts < n*30; attempts++ {
+		a := p.draw(rng)
+		if !seen[a] {
+			seen[a] = true
+			out = append(out, a)
+		}
+	}
+	// Fill any remainder by scanning ranks in order.
+	for i := 0; len(out) < n && i < len(p.asns); i++ {
+		if !seen[p.asns[i]] {
+			seen[p.asns[i]] = true
+			out = append(out, p.asns[i])
+		}
+	}
+	return out
+}

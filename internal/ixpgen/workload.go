@@ -1,0 +1,69 @@
+package ixpgen
+
+import (
+	"fmt"
+
+	"ixplight/internal/collector"
+	"ixplight/internal/netutil"
+	"ixplight/internal/rs"
+)
+
+// Populate announces the whole workload into a route server: adds
+// every member as a peer and runs every route through the import
+// pipeline. The generator only emits import-clean routes, so an
+// unexpected rejection is an error (it would silently skew the
+// calibration).
+func (w *Workload) Populate(server *rs.Server) error {
+	for _, m := range w.Members {
+		err := server.AddPeer(rs.Peer{
+			ASN:    m.ASN,
+			Name:   m.Name,
+			AddrV4: netutil.PeerAddrV4(m.Index),
+			AddrV6: netutil.PeerAddrV6(m.Index),
+			IPv4:   m.IPv4,
+			IPv6:   m.IPv6,
+		})
+		if err != nil {
+			return fmt.Errorf("ixpgen: add peer AS%d: %w", m.ASN, err)
+		}
+	}
+	for _, r := range w.Routes {
+		reason, err := server.Announce(r.PeerAS(), r)
+		if err != nil {
+			return fmt.Errorf("ixpgen: announce %s from AS%d: %w", r.Prefix, r.PeerAS(), err)
+		}
+		if reason != rs.FilterNone {
+			return fmt.Errorf("ixpgen: generated route %s from AS%d rejected: %v", r.Prefix, r.PeerAS(), reason)
+		}
+	}
+	for _, r := range w.Invalid {
+		reason, err := server.Announce(r.PeerAS(), r)
+		if err != nil {
+			return fmt.Errorf("ixpgen: announce invalid %s from AS%d: %w", r.Prefix, r.PeerAS(), err)
+		}
+		if reason == rs.FilterNone {
+			return fmt.Errorf("ixpgen: invalid route %s from AS%d was accepted", r.Prefix, r.PeerAS())
+		}
+	}
+	return nil
+}
+
+// Snapshot packages the workload directly as a collector snapshot —
+// the fast path equivalent to Populate + LG crawl, used by the
+// twelve-week dataset builder. TestSnapshotMatchesCollectedSnapshot
+// pins the equivalence.
+func (w *Workload) Snapshot(date string) *collector.Snapshot {
+	s := &collector.Snapshot{
+		IXP:           w.Profile.IXP,
+		Date:          date,
+		FilteredCount: len(w.Invalid),
+	}
+	for _, m := range w.Members {
+		s.Members = append(s.Members, collector.Member{
+			ASN: m.ASN, Name: m.Name, IPv4: m.IPv4, IPv6: m.IPv6,
+		})
+	}
+	s.Routes = append(s.Routes, w.Routes...)
+	s.Normalize()
+	return s
+}

@@ -1,0 +1,129 @@
+// Package lg implements the looking-glass layer the paper's collection
+// depends on: an alice-lg-style HTTP JSON API exposing a route
+// server's neighbors and per-neighbor accepted/filtered routes, and a
+// client with pagination, rate limiting, retry with backoff and
+// failure injection hooks for exercising the collector's resilience
+// (LG instability and query rate limits, §3).
+package lg
+
+import (
+	"net/netip"
+
+	"ixplight/internal/bgp"
+)
+
+// API payload shapes. They deliberately differ from the storage types
+// in internal/collector, as a real LG's JSON differs from a research
+// dataset's schema; the collector maps between the two.
+
+// StatusResponse is returned by GET /api/v1/status.
+type StatusResponse struct {
+	IXP     string `json:"ixp"`
+	Version string `json:"version"`
+	RSASN   uint16 `json:"rs_asn"`
+}
+
+// Neighbor is one member session as the LG reports it.
+type Neighbor struct {
+	ASN            uint32 `json:"asn"`
+	Description    string `json:"description"`
+	IPv4           bool   `json:"ipv4"`
+	IPv6           bool   `json:"ipv6"`
+	RoutesAccepted int    `json:"routes_accepted"`
+	RoutesFiltered int    `json:"routes_filtered"`
+}
+
+// NeighborsResponse is returned by GET /api/v1/routeservers/rs1/neighbors.
+type NeighborsResponse struct {
+	Neighbors []Neighbor `json:"neighbors"`
+}
+
+// APIRoute is the wire representation of one route.
+type APIRoute struct {
+	Prefix           string   `json:"network"`
+	NextHop          string   `json:"gateway"`
+	ASPath           []uint32 `json:"as_path"`
+	Communities      []string `json:"communities"`
+	ExtCommunities   []string `json:"ext_communities,omitempty"`
+	LargeCommunities []string `json:"large_communities,omitempty"`
+	FilterReason     string   `json:"filter_reason,omitempty"`
+}
+
+// RoutesResponse is one page of GET .../routes/received or /filtered.
+type RoutesResponse struct {
+	Routes     []APIRoute `json:"routes"`
+	Page       int        `json:"page"`
+	PageSize   int        `json:"page_size"`
+	TotalPages int        `json:"total_pages"`
+	TotalCount int        `json:"total_count"`
+}
+
+// ConfigResponse is returned by GET /api/v1/routeservers/rs1/config —
+// the RS configuration extract the paper's dictionary starts from.
+type ConfigResponse struct {
+	IXP         string            `json:"ixp"`
+	RSASN       uint16            `json:"rs_asn"`
+	Communities []CommunityConfig `json:"communities"`
+}
+
+// CommunityConfig is one community definition in the RS config dump.
+type CommunityConfig struct {
+	Community   string `json:"community"`
+	Action      string `json:"action"`
+	Target      string `json:"target"`
+	Description string `json:"description"`
+}
+
+// EncodeRoute converts an internal route into its API shape.
+func EncodeRoute(r bgp.Route) APIRoute {
+	out := APIRoute{
+		Prefix:  r.Prefix.String(),
+		NextHop: r.NextHop.String(),
+		ASPath:  r.ASPath,
+	}
+	for _, c := range r.Communities {
+		out.Communities = append(out.Communities, c.String())
+	}
+	for _, e := range r.ExtCommunities {
+		out.ExtCommunities = append(out.ExtCommunities, e.String())
+	}
+	for _, l := range r.LargeCommunities {
+		out.LargeCommunities = append(out.LargeCommunities, l.String())
+	}
+	return out
+}
+
+// DecodeRoute converts an API route back to the internal form.
+func DecodeRoute(a APIRoute) (bgp.Route, error) {
+	prefix, err := netip.ParsePrefix(a.Prefix)
+	if err != nil {
+		return bgp.Route{}, err
+	}
+	nh, err := netip.ParseAddr(a.NextHop)
+	if err != nil {
+		return bgp.Route{}, err
+	}
+	r := bgp.Route{Prefix: prefix, NextHop: nh, ASPath: a.ASPath}
+	for _, s := range a.Communities {
+		c, err := bgp.ParseCommunity(s)
+		if err != nil {
+			return bgp.Route{}, err
+		}
+		r.Communities = append(r.Communities, c)
+	}
+	for _, s := range a.ExtCommunities {
+		e, err := bgp.ParseExtendedCommunity(s)
+		if err != nil {
+			return bgp.Route{}, err
+		}
+		r.ExtCommunities = append(r.ExtCommunities, e)
+	}
+	for _, s := range a.LargeCommunities {
+		l, err := bgp.ParseLargeCommunity(s)
+		if err != nil {
+			return bgp.Route{}, err
+		}
+		r.LargeCommunities = append(r.LargeCommunities, l)
+	}
+	return r, nil
+}

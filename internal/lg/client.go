@@ -1,0 +1,233 @@
+package lg
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"ixplight/internal/bgp"
+)
+
+// ClientOptions tunes the LG client's politeness and resilience.
+type ClientOptions struct {
+	// PageSize requested from the routes endpoints (0 = server default).
+	PageSize int
+	// MinInterval is the minimum delay between consecutive requests —
+	// the single-connection politeness the paper's §3 ethics note
+	// describes (0 = no throttling).
+	MinInterval time.Duration
+	// MaxRetries is how many times a failed request is retried.
+	MaxRetries int
+	// RetryBackoff is the base backoff between retries; it doubles on
+	// every attempt.
+	RetryBackoff time.Duration
+	// HTTPClient overrides the transport (nil = http.DefaultClient).
+	HTTPClient *http.Client
+}
+
+// Client crawls one looking glass. It is not safe for concurrent use —
+// deliberately: the collection keeps a single connection to the LG.
+type Client struct {
+	base     string
+	opts     ClientOptions
+	http     *http.Client
+	lastReq  time.Time
+	Requests int // total requests issued, including retries
+}
+
+// NewClient builds a client for the LG at base (e.g. the httptest
+// server URL or "https://lg.de-cix.net").
+func NewClient(base string, opts ClientOptions) *Client {
+	hc := opts.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	if opts.MaxRetries < 0 {
+		opts.MaxRetries = 0
+	}
+	if opts.RetryBackoff <= 0 {
+		opts.RetryBackoff = 10 * time.Millisecond
+	}
+	return &Client{base: base, opts: opts, http: hc}
+}
+
+// get fetches one endpoint into out, honouring the rate limit and
+// retrying transient failures (5xx, 429, transport errors) with
+// exponential backoff.
+func (c *Client) get(ctx context.Context, path string, out any) error {
+	var lastErr error
+	backoff := c.opts.RetryBackoff
+	for attempt := 0; attempt <= c.opts.MaxRetries; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-time.After(backoff):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+			backoff *= 2
+		}
+		if err := c.throttle(ctx); err != nil {
+			return err
+		}
+		lastErr = c.once(ctx, path, out)
+		if lastErr == nil {
+			return nil
+		}
+		var re *retryableError
+		if !errors.As(lastErr, &re) {
+			return lastErr
+		}
+	}
+	return fmt.Errorf("lg: %s failed after %d attempts: %w", path, c.opts.MaxRetries+1, lastErr)
+}
+
+// throttle enforces MinInterval between requests.
+func (c *Client) throttle(ctx context.Context) error {
+	if c.opts.MinInterval <= 0 {
+		return nil
+	}
+	wait := c.opts.MinInterval - time.Since(c.lastReq)
+	if wait > 0 {
+		select {
+		case <-time.After(wait):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	c.lastReq = time.Now()
+	return nil
+}
+
+// retryableError marks failures worth retrying.
+type retryableError struct{ err error }
+
+func (e *retryableError) Error() string { return e.err.Error() }
+func (e *retryableError) Unwrap() error { return e.err }
+
+func (c *Client) once(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	c.Requests++
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return &retryableError{err}
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		return json.NewDecoder(resp.Body).Decode(out)
+	case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500:
+		io.Copy(io.Discard, resp.Body)
+		return &retryableError{fmt.Errorf("lg: %s: status %d", path, resp.StatusCode)}
+	default:
+		io.Copy(io.Discard, resp.Body)
+		return fmt.Errorf("lg: %s: status %d", path, resp.StatusCode)
+	}
+}
+
+// Status fetches the LG identity.
+func (c *Client) Status(ctx context.Context) (*StatusResponse, error) {
+	var out StatusResponse
+	if err := c.get(ctx, "/api/v1/status", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Neighbors fetches the member summary list (§3's "summary file with
+// the list of peers and the number of routes announced by each").
+func (c *Client) Neighbors(ctx context.Context) ([]Neighbor, error) {
+	var out NeighborsResponse
+	if err := c.get(ctx, "/api/v1/routeservers/rs1/neighbors", &out); err != nil {
+		return nil, err
+	}
+	return out.Neighbors, nil
+}
+
+// Config fetches the RS configuration community list.
+func (c *Client) Config(ctx context.Context) (*ConfigResponse, error) {
+	var out ConfigResponse
+	if err := c.get(ctx, "/api/v1/routeservers/rs1/config", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// ConfigRaw fetches the BIRD-style route-server configuration text.
+func (c *Client) ConfigRaw(ctx context.Context) (string, error) {
+	if err := c.throttle(ctx); err != nil {
+		return "", err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/api/v1/routeservers/rs1/config/raw", nil)
+	if err != nil {
+		return "", err
+	}
+	c.Requests++
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return "", fmt.Errorf("lg: config/raw: status %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	return string(body), nil
+}
+
+// routesPaged walks every page of one routes endpoint.
+func (c *Client) routesPaged(ctx context.Context, endpoint string) ([]bgp.Route, error) {
+	var routes []bgp.Route
+	for page := 0; ; page++ {
+		path := fmt.Sprintf("%s?page=%d", endpoint, page)
+		if c.opts.PageSize > 0 {
+			path += fmt.Sprintf("&page_size=%d", c.opts.PageSize)
+		}
+		var resp RoutesResponse
+		if err := c.get(ctx, path, &resp); err != nil {
+			return nil, err
+		}
+		for _, ar := range resp.Routes {
+			r, err := DecodeRoute(ar)
+			if err != nil {
+				return nil, fmt.Errorf("lg: bad route %q: %w", ar.Prefix, err)
+			}
+			routes = append(routes, r)
+		}
+		if page >= resp.TotalPages-1 {
+			return routes, nil
+		}
+	}
+}
+
+// RoutesReceived fetches every accepted route of one neighbor.
+func (c *Client) RoutesReceived(ctx context.Context, asn uint32) ([]bgp.Route, error) {
+	return c.routesPaged(ctx, fmt.Sprintf("/api/v1/routeservers/rs1/neighbors/%d/routes/received", asn))
+}
+
+// RoutesNotExported fetches the routes withheld from one neighbor by
+// action communities.
+func (c *Client) RoutesNotExported(ctx context.Context, asn uint32) ([]bgp.Route, error) {
+	return c.routesPaged(ctx, fmt.Sprintf("/api/v1/routeservers/rs1/neighbors/%d/routes/not-exported", asn))
+}
+
+// FilteredCount fetches how many routes of one neighbor were filtered
+// (the collection records the count, not the routes).
+func (c *Client) FilteredCount(ctx context.Context, asn uint32) (int, error) {
+	var resp RoutesResponse
+	path := fmt.Sprintf("/api/v1/routeservers/rs1/neighbors/%d/routes/filtered?page=0&page_size=1", asn)
+	if err := c.get(ctx, path, &resp); err != nil {
+		return 0, err
+	}
+	return resp.TotalCount, nil
+}

@@ -1,0 +1,247 @@
+package lg
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"ixplight/internal/dictionary"
+	"ixplight/internal/rs"
+	"ixplight/internal/rsconfig"
+)
+
+// DefaultPageSize caps a routes page when the client does not specify
+// one; real LGs paginate to keep responses bounded.
+const DefaultPageSize = 500
+
+// MaxPageSize bounds client-requested page sizes.
+const MaxPageSize = 5000
+
+// Server exposes a route server through the HTTP JSON API. Create one
+// with NewServer and mount it (it implements http.Handler).
+type Server struct {
+	rs  *rs.Server
+	mux *http.ServeMux
+}
+
+// NewServer wraps a route server with the LG API.
+func NewServer(routeServer *rs.Server) *Server {
+	s := &Server{rs: routeServer, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /api/v1/status", s.handleStatus)
+	s.mux.HandleFunc("GET /api/v1/routeservers/rs1/neighbors", s.handleNeighbors)
+	s.mux.HandleFunc("GET /api/v1/routeservers/rs1/neighbors/{asn}/routes/received", s.handleRoutesReceived)
+	s.mux.HandleFunc("GET /api/v1/routeservers/rs1/neighbors/{asn}/routes/filtered", s.handleRoutesFiltered)
+	s.mux.HandleFunc("GET /api/v1/routeservers/rs1/neighbors/{asn}/routes/not-exported", s.handleRoutesNotExported)
+	s.mux.HandleFunc("GET /api/v1/routeservers/rs1/config", s.handleConfig)
+	s.mux.HandleFunc("GET /api/v1/routeservers/rs1/config/raw", s.handleConfigRaw)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Too late for a status change; the client sees a truncated body.
+		return
+	}
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	scheme := s.rs.Scheme()
+	writeJSON(w, StatusResponse{IXP: scheme.IXP, Version: "1.0", RSASN: scheme.RSASN})
+}
+
+func (s *Server) handleNeighbors(w http.ResponseWriter, _ *http.Request) {
+	peers := s.rs.Peers()
+	resp := NeighborsResponse{Neighbors: make([]Neighbor, 0, len(peers))}
+	for _, p := range peers {
+		resp.Neighbors = append(resp.Neighbors, Neighbor{
+			ASN:            p.ASN,
+			Description:    p.Name,
+			IPv4:           p.IPv4,
+			IPv6:           p.IPv6,
+			RoutesAccepted: len(s.rs.AcceptedRoutes(p.ASN)),
+			RoutesFiltered: len(s.rs.FilteredRoutes(p.ASN)),
+		})
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) neighborASN(w http.ResponseWriter, r *http.Request) (uint32, bool) {
+	asn, err := strconv.ParseUint(r.PathValue("asn"), 10, 32)
+	if err != nil {
+		http.Error(w, "bad neighbor asn", http.StatusBadRequest)
+		return 0, false
+	}
+	if !s.rs.HasPeer(uint32(asn)) {
+		http.Error(w, "no such neighbor", http.StatusNotFound)
+		return 0, false
+	}
+	return uint32(asn), true
+}
+
+func pageParams(r *http.Request) (page, size int) {
+	page, _ = strconv.Atoi(r.URL.Query().Get("page"))
+	if page < 0 {
+		page = 0
+	}
+	size, _ = strconv.Atoi(r.URL.Query().Get("page_size"))
+	if size <= 0 {
+		size = DefaultPageSize
+	}
+	if size > MaxPageSize {
+		size = MaxPageSize
+	}
+	return page, size
+}
+
+// paginate slices one page out of n items and reports the page counts.
+func paginate(n, page, size int) (lo, hi, totalPages int) {
+	totalPages = (n + size - 1) / size
+	if totalPages == 0 {
+		totalPages = 1
+	}
+	lo = page * size
+	if lo > n {
+		lo = n
+	}
+	hi = lo + size
+	if hi > n {
+		hi = n
+	}
+	return lo, hi, totalPages
+}
+
+func (s *Server) handleRoutesReceived(w http.ResponseWriter, r *http.Request) {
+	asn, ok := s.neighborASN(w, r)
+	if !ok {
+		return
+	}
+	routes := s.rs.AcceptedRoutes(asn)
+	page, size := pageParams(r)
+	lo, hi, totalPages := paginate(len(routes), page, size)
+	resp := RoutesResponse{
+		Page: page, PageSize: size,
+		TotalPages: totalPages, TotalCount: len(routes),
+	}
+	for _, rt := range routes[lo:hi] {
+		resp.Routes = append(resp.Routes, EncodeRoute(rt))
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleRoutesFiltered(w http.ResponseWriter, r *http.Request) {
+	asn, ok := s.neighborASN(w, r)
+	if !ok {
+		return
+	}
+	filtered := s.rs.FilteredRoutes(asn)
+	page, size := pageParams(r)
+	lo, hi, totalPages := paginate(len(filtered), page, size)
+	resp := RoutesResponse{
+		Page: page, PageSize: size,
+		TotalPages: totalPages, TotalCount: len(filtered),
+	}
+	for _, f := range filtered[lo:hi] {
+		ar := EncodeRoute(f.Route)
+		ar.FilterReason = f.Reason.String()
+		resp.Routes = append(resp.Routes, ar)
+	}
+	writeJSON(w, resp)
+}
+
+// handleRoutesNotExported serves the routes action communities keep
+// away from this neighbor — the alice-lg "not exported" view.
+func (s *Server) handleRoutesNotExported(w http.ResponseWriter, r *http.Request) {
+	asn, ok := s.neighborASN(w, r)
+	if !ok {
+		return
+	}
+	routes := s.rs.NotExportedTo(asn)
+	page, size := pageParams(r)
+	lo, hi, totalPages := paginate(len(routes), page, size)
+	resp := RoutesResponse{
+		Page: page, PageSize: size,
+		TotalPages: totalPages, TotalCount: len(routes),
+	}
+	for _, rt := range routes[lo:hi] {
+		resp.Routes = append(resp.Routes, EncodeRoute(rt))
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleConfig(w http.ResponseWriter, _ *http.Request) {
+	scheme := s.rs.Scheme()
+	resp := ConfigResponse{IXP: scheme.IXP, RSASN: scheme.RSASN}
+	for _, e := range scheme.RSConfigEntries() {
+		resp.Communities = append(resp.Communities, CommunityConfig{
+			Community:   e.Community.String(),
+			Action:      e.Action.String(),
+			Target:      targetLabel(e),
+			Description: e.Description,
+		})
+	}
+	writeJSON(w, resp)
+}
+
+// handleConfigRaw serves the BIRD-style configuration text — the §3
+// artifact the dictionary extraction parses.
+func (s *Server) handleConfigRaw(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = io.WriteString(w, rsconfig.Render(s.rs.Scheme(), rsconfig.Options{}))
+}
+
+func targetLabel(e dictionary.Entry) string {
+	switch e.Target {
+	case dictionary.TargetAll:
+		return "all"
+	case dictionary.TargetPeer:
+		return fmt.Sprintf("AS%d", e.TargetASN)
+	default:
+		return ""
+	}
+}
+
+// FlakyOptions configures the failure-injection middleware.
+type FlakyOptions struct {
+	// ErrorRate is the probability of answering 500 instead of the
+	// real response.
+	ErrorRate float64
+	// RateLimitEvery answers 429 on every n-th request when > 0,
+	// simulating LG query rate limits.
+	RateLimitEvery int
+	// Seed makes the injected failures reproducible.
+	Seed int64
+}
+
+// Flaky wraps an HTTP handler with deterministic failure injection —
+// the LG instability the paper's collection had to survive.
+func Flaky(next http.Handler, opts FlakyOptions) http.Handler {
+	rng := rand.New(rand.NewSource(opts.Seed))
+	var mu sync.Mutex
+	count := 0
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		count++
+		n := count
+		roll := rng.Float64()
+		mu.Unlock()
+		if opts.RateLimitEvery > 0 && n%opts.RateLimitEvery == 0 {
+			http.Error(w, "rate limited", http.StatusTooManyRequests)
+			return
+		}
+		if roll < opts.ErrorRate {
+			http.Error(w, "internal error", http.StatusInternalServerError)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}

@@ -1,0 +1,167 @@
+// Package netutil provides address-plane helpers shared by the route
+// server and the workload generator: bogon prefix and ASN detection
+// (the route-server import filters the paper's §3 describes) and
+// deterministic prefix synthesis for the simulator.
+package netutil
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+// bogonV4 lists IPv4 space that must never appear in a routing table
+// (RFC 1122, RFC 1918, RFC 3927, RFC 5737, RFC 6598, ...). Route
+// servers reject announcements covered by any of these.
+var bogonV4 = mustPrefixes(
+	"0.0.0.0/8",
+	"10.0.0.0/8",
+	"100.64.0.0/10",
+	"127.0.0.0/8",
+	"169.254.0.0/16",
+	"172.16.0.0/12",
+	"192.0.0.0/24",
+	"192.0.2.0/24",
+	"192.168.0.0/16",
+	"198.18.0.0/15",
+	"198.51.100.0/24",
+	"203.0.113.0/24",
+	"224.0.0.0/4",
+	"240.0.0.0/4",
+)
+
+// bogonV6 lists the equivalent IPv6 bogon space. 2001:db8::/32 is
+// deliberately not included: this simulator numbers its synthetic
+// Internet out of the documentation prefix, exactly so that nothing it
+// generates can collide with real routable space.
+var bogonV6 = mustPrefixes(
+	"::/8",
+	"100::/64",
+	"2001::/33",
+	"fc00::/7",
+	"fe80::/10",
+	"ff00::/8",
+)
+
+func mustPrefixes(ss ...string) []netip.Prefix {
+	ps := make([]netip.Prefix, len(ss))
+	for i, s := range ss {
+		ps[i] = netip.MustParsePrefix(s)
+	}
+	return ps
+}
+
+// IsBogonPrefix reports whether p falls inside reserved address space.
+func IsBogonPrefix(p netip.Prefix) bool {
+	addr := p.Addr()
+	table := bogonV4
+	if addr.Is6() {
+		table = bogonV6
+	}
+	for _, b := range table {
+		if b.Overlaps(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// IsBogonASN reports whether asn is reserved (RFC 7607 zero,
+// RFC 5398 documentation ranges, RFC 6996 private use, RFC 7300 last,
+// or the 4-octet documentation/private ranges).
+func IsBogonASN(asn uint32) bool {
+	switch {
+	case asn == 0:
+		return true
+	case asn == 23456: // AS_TRANS must never originate routes
+		return true
+	case asn >= 64496 && asn <= 64511: // documentation (RFC 5398)
+		return true
+	case asn >= 65536 && asn <= 65551: // documentation (RFC 5398)
+		return true
+	case asn == 65535 || asn == 4294967295: // last ASNs (RFC 7300)
+		return true
+	case asn >= 4200000000 && asn <= 4294967294: // private (RFC 6996)
+		return true
+	}
+	return false
+}
+
+// PrivateASN reports whether asn is in the RFC 6996 16-bit private
+// range used by this simulator for IXP infrastructure.
+func PrivateASN(asn uint32) bool {
+	return asn >= 64512 && asn <= 65534
+}
+
+// SyntheticV4Prefix deterministically derives the i-th /24 inside the
+// simulator's synthetic IPv4 space. The space is carved from 1.0.0.0/8
+// upward, skipping bogon territory by construction: index i maps to
+// 1.0.0.0 + i*256.
+func SyntheticV4Prefix(i int) netip.Prefix {
+	base := uint32(1 << 24) // 1.0.0.0
+	v := base + uint32(i)*256
+	a := [4]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)}
+	return netip.PrefixFrom(netip.AddrFrom4(a), 24)
+}
+
+// SyntheticV6Prefix deterministically derives the i-th /48 inside
+// 2400::/12-style synthetic space (we use 2a10::/16 and count up in
+// /48 units).
+func SyntheticV6Prefix(i int) netip.Prefix {
+	var a [16]byte
+	a[0], a[1] = 0x2a, 0x10
+	a[2] = byte(i >> 24)
+	a[3] = byte(i >> 16)
+	a[4] = byte(i >> 8)
+	a[5] = byte(i)
+	return netip.PrefixFrom(netip.AddrFrom16(a), 48)
+}
+
+// PeerAddrV4 returns the deterministic IXP-LAN IPv4 address of the
+// idx-th peer (the route server itself is index 0). IXP peering LANs
+// are conventionally a /22-ish shared subnet; we synthesise one from
+// 193.239.x.y which keeps addresses plausible and collision-free for
+// up to 64k peers.
+func PeerAddrV4(idx int) netip.Addr {
+	return netip.AddrFrom4([4]byte{193, 239, byte(idx >> 8), byte(idx)})
+}
+
+// PeerAddrV6 returns the deterministic IXP-LAN IPv6 address of the
+// idx-th peer.
+func PeerAddrV6(idx int) netip.Addr {
+	var a [16]byte
+	a[0], a[1], a[2], a[3] = 0x20, 0x01, 0x7f, 0x8b
+	a[14] = byte(idx >> 8)
+	a[15] = byte(idx)
+	return netip.AddrFrom16(a)
+}
+
+// FamilyName returns "IPv4" or "IPv6" for a prefix, the label the
+// paper's tables use.
+func FamilyName(p netip.Prefix) string {
+	if p.Addr().Is6() {
+		return "IPv6"
+	}
+	return "IPv4"
+}
+
+// CheckPrefixBounds enforces the route-server acceptance window the
+// paper describes: IPv4 more specific than /24 or broader than /8 is
+// filtered (and the analogous /48–/16 window for IPv6).
+func CheckPrefixBounds(p netip.Prefix) error {
+	if p.Addr().Is4() {
+		if p.Bits() > 24 {
+			return fmt.Errorf("netutil: %s too specific (> /24)", p)
+		}
+		if p.Bits() < 8 {
+			return fmt.Errorf("netutil: %s too broad (< /8)", p)
+		}
+		return nil
+	}
+	if p.Bits() > 48 {
+		return fmt.Errorf("netutil: %s too specific (> /48)", p)
+	}
+	if p.Bits() < 16 {
+		return fmt.Errorf("netutil: %s too broad (< /16)", p)
+	}
+	return nil
+}

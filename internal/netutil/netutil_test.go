@@ -1,0 +1,124 @@
+package netutil
+
+import (
+	"net/netip"
+	"testing"
+)
+
+func TestIsBogonPrefix(t *testing.T) {
+	bogons := []string{
+		"10.0.0.0/8", "10.1.2.0/24", "192.168.1.0/24", "127.0.0.1/32",
+		"100.64.0.0/10", "224.0.0.0/8", "0.0.0.0/0",
+		"fe80::/64", "fc00::/8", "::1/128", "ff02::/16",
+	}
+	for _, s := range bogons {
+		if !IsBogonPrefix(netip.MustParsePrefix(s)) {
+			t.Errorf("IsBogonPrefix(%s) = false, want true", s)
+		}
+	}
+	clean := []string{
+		"1.0.0.0/24", "8.8.8.0/24", "193.239.0.0/22",
+		"2a10::/16", "2600::/16", "2001:db8::/32",
+	}
+	for _, s := range clean {
+		if IsBogonPrefix(netip.MustParsePrefix(s)) {
+			t.Errorf("IsBogonPrefix(%s) = true, want false", s)
+		}
+	}
+}
+
+func TestIsBogonASN(t *testing.T) {
+	for _, asn := range []uint32{0, 23456, 64496, 64511, 65535, 65536, 65551, 4200000000, 4294967295} {
+		if !IsBogonASN(asn) {
+			t.Errorf("IsBogonASN(%d) = false, want true", asn)
+		}
+	}
+	for _, asn := range []uint32{1, 6939, 15169, 64495, 64512, 65534, 65552, 263075, 4199999999} {
+		if IsBogonASN(asn) {
+			t.Errorf("IsBogonASN(%d) = true, want false", asn)
+		}
+	}
+}
+
+func TestPrivateASN(t *testing.T) {
+	if !PrivateASN(64512) || !PrivateASN(65534) {
+		t.Error("private range edges misclassified")
+	}
+	if PrivateASN(64511) || PrivateASN(65535) {
+		t.Error("non-private values classified private")
+	}
+}
+
+func TestSyntheticV4PrefixDistinctAndClean(t *testing.T) {
+	seen := map[netip.Prefix]bool{}
+	for i := 0; i < 10000; i++ {
+		p := SyntheticV4Prefix(i)
+		if p.Bits() != 24 {
+			t.Fatalf("prefix %d = %s, want /24", i, p)
+		}
+		if seen[p] {
+			t.Fatalf("duplicate prefix at index %d: %s", i, p)
+		}
+		seen[p] = true
+		if IsBogonPrefix(p) {
+			t.Fatalf("synthetic prefix %s is a bogon", p)
+		}
+		if err := CheckPrefixBounds(p); err != nil {
+			t.Fatalf("synthetic prefix out of bounds: %v", err)
+		}
+	}
+}
+
+func TestSyntheticV6PrefixDistinctAndClean(t *testing.T) {
+	seen := map[netip.Prefix]bool{}
+	for i := 0; i < 10000; i++ {
+		p := SyntheticV6Prefix(i)
+		if p.Bits() != 48 {
+			t.Fatalf("prefix %d = %s, want /48", i, p)
+		}
+		if seen[p] {
+			t.Fatalf("duplicate prefix at index %d: %s", i, p)
+		}
+		seen[p] = true
+		if IsBogonPrefix(p) {
+			t.Fatalf("synthetic prefix %s is a bogon", p)
+		}
+	}
+}
+
+func TestPeerAddrsDistinct(t *testing.T) {
+	seen4 := map[netip.Addr]bool{}
+	seen6 := map[netip.Addr]bool{}
+	for i := 0; i < 3000; i++ {
+		a4, a6 := PeerAddrV4(i), PeerAddrV6(i)
+		if seen4[a4] || seen6[a6] {
+			t.Fatalf("duplicate peer address at index %d", i)
+		}
+		seen4[a4], seen6[a6] = true, true
+		if !a4.Is4() || !a6.Is6() {
+			t.Fatalf("family mismatch at index %d", i)
+		}
+	}
+}
+
+func TestCheckPrefixBounds(t *testing.T) {
+	for _, s := range []string{"1.2.3.0/25", "1.0.0.0/7", "2a10::/49", "2a10::/12"} {
+		if err := CheckPrefixBounds(netip.MustParsePrefix(s)); err == nil {
+			t.Errorf("CheckPrefixBounds(%s): want error", s)
+		}
+	}
+	for _, s := range []string{"1.2.3.0/24", "1.0.0.0/8", "2a10::/48", "2a10::/16"} {
+		if err := CheckPrefixBounds(netip.MustParsePrefix(s)); err != nil {
+			t.Errorf("CheckPrefixBounds(%s) = %v, want nil", s, err)
+		}
+	}
+}
+
+func TestFamilyName(t *testing.T) {
+	if FamilyName(netip.MustParsePrefix("1.0.0.0/24")) != "IPv4" {
+		t.Error("v4 family name wrong")
+	}
+	if FamilyName(netip.MustParsePrefix("2a10::/48")) != "IPv6" {
+		t.Error("v6 family name wrong")
+	}
+}

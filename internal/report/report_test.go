@@ -1,0 +1,160 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ixplight/internal/ixpgen"
+)
+
+// testLab builds a small two-IXP lab shared across report tests.
+var cachedLab *Lab
+
+func testLab(t *testing.T) *Lab {
+	t.Helper()
+	if cachedLab != nil {
+		return cachedLab
+	}
+	profiles := []ixpgen.Profile{
+		*ixpgen.ProfileByName("DE-CIX"),
+		*ixpgen.ProfileByName("AMS-IX"),
+	}
+	l, err := NewLab(profiles, 7, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cachedLab = l
+	return l
+}
+
+func TestNewLabPopulatesSnapshots(t *testing.T) {
+	l := testLab(t)
+	if len(l.Snapshots) != 2 {
+		t.Fatalf("snapshots = %d", len(l.Snapshots))
+	}
+	for _, name := range []string{"DE-CIX", "AMS-IX"} {
+		s, ok := l.Snapshots[name]
+		if !ok || len(s.Routes) == 0 || len(s.Members) == 0 {
+			t.Errorf("%s snapshot incomplete", name)
+		}
+	}
+}
+
+// TestEveryExperimentRuns executes each registered experiment and
+// checks for non-empty, section-headed output.
+func TestEveryExperimentRuns(t *testing.T) {
+	l := testLab(t)
+	for _, name := range ExperimentNames {
+		// The temporal experiments regenerate day series; keep them to
+		// the cheap list here (they have their own benches).
+		if name == "table4" {
+			continue
+		}
+		t.Run(name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := l.Run(&buf, name); err != nil {
+				t.Fatal(err)
+			}
+			out := buf.String()
+			if len(out) == 0 {
+				t.Fatal("no output")
+			}
+			if !strings.Contains(out, "=====") {
+				t.Error("missing section header")
+			}
+			// Every experiment must mention each IXP.
+			for _, p := range l.Profiles {
+				if !strings.Contains(out, p.IXP) {
+					t.Errorf("output misses IXP %s", p.IXP)
+				}
+			}
+		})
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	l := testLab(t)
+	var buf bytes.Buffer
+	if err := l.Run(&buf, "nope"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestFig1OutputShape(t *testing.T) {
+	l := testLab(t)
+	var buf bytes.Buffer
+	if err := l.Run(&buf, "fig1"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"figure1,DE-CIX,IPv4", "figure1,DE-CIX,IPv6", "defined=", "unknown="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig1 output misses %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable2OutputShape(t *testing.T) {
+	l := testLab(t)
+	var buf bytes.Buffer
+	if err := l.Run(&buf, "table2"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"do-not-announce-to", "announce-only-to", "prepend-to", "blackholing"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table2 output misses %q", want)
+		}
+	}
+}
+
+func TestFig7NamesCulprits(t *testing.T) {
+	l := testLab(t)
+	var buf bytes.Buffer
+	if err := l.Run(&buf, "fig7"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Hurricane Electric") {
+		t.Error("fig7 output does not name Hurricane Electric")
+	}
+}
+
+func TestVisibilityReportsGap(t *testing.T) {
+	l := testLab(t)
+	var buf bytes.Buffer
+	if err := l.Run(&buf, "visibility"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "invisible") {
+		t.Errorf("visibility output unexpected:\n%s", out)
+	}
+	// The core claim: ~100% of action instances invisible at collectors.
+	if !strings.Contains(out, "100.0% invisible") && !strings.Contains(out, "99.") {
+		t.Errorf("visibility gap suspiciously low:\n%s", out)
+	}
+}
+
+func TestSanitationRemovesInjectedValleys(t *testing.T) {
+	l := testLab(t)
+	var buf bytes.Buffer
+	if err := l.Run(&buf, "sanitation"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "2 removed as valleys") {
+		t.Errorf("sanitation output unexpected:\n%s", buf.String())
+	}
+}
+
+func TestTable1RowFromSnapshot(t *testing.T) {
+	l := testLab(t)
+	s := l.Snapshots["DE-CIX"]
+	row := Table1RowFromSnapshot(s, "Frankfurt", "9.27 Tbps", 1072)
+	if row.IXP != "DE-CIX" || row.MembersRSv4 == 0 || row.RoutesV4 == 0 {
+		t.Errorf("row = %+v", row)
+	}
+	if row.RoutesV4 < row.PrefixesV4 {
+		t.Errorf("routes (%d) < prefixes (%d)", row.RoutesV4, row.PrefixesV4)
+	}
+}

@@ -1,0 +1,19 @@
+// Package rs implements an IXP route server in the style of RFC 7947:
+// members peer multilaterally with a transparent BGP speaker that
+// keeps per-peer Adj-RIB-In tables, applies import filters (the §3
+// "filtered vs accepted" split: bogon prefixes and ASNs, AS paths too
+// long, prefixes too specific or too broad) and executes the action
+// BGP communities of the hosting IXP's scheme on export:
+//
+//   - do-not-announce-to: suppress export towards the targeted peer
+//     (or everyone), with announce-only-to acting as a whitelist
+//     override, matching BIRD route-server configs in the field;
+//   - prepend-to: repeat the announcing member's ASN 1–3× on the
+//     exported AS path towards the target;
+//   - blackholing: accept host routes carrying RFC 7999 65535:666 and
+//     propagate them with the community retained.
+//
+// Exported routes are scrubbed: action communities are removed after
+// being acted on (the behaviour that makes them invisible at classic
+// route collectors and motivates the paper's LG-based methodology).
+package rs

@@ -1,0 +1,228 @@
+package rs
+
+import (
+	"ixplight/internal/bgp"
+	"ixplight/internal/dictionary"
+)
+
+// actionSummary is the per-route digest of action communities,
+// precomputed at import time so that each export decision is a couple
+// of map probes instead of a re-classification of every community.
+// BenchmarkAblation_ExportScan compares this against classifying on
+// every export.
+type actionSummary struct {
+	denyAll    bool
+	deny       map[uint32]bool // do-not-announce-to specific targets
+	allow      map[uint32]bool // announce-only-to specific targets
+	prependAll int             // prepend count towards everyone
+	prepend    map[uint32]int  // prepend count towards specific targets
+	blackhole  bool
+}
+
+// summarizeActions classifies all three community flavours of a route
+// once under the scheme.
+func summarizeActions(scheme *dictionary.Scheme, r bgp.Route) *actionSummary {
+	a := &actionSummary{}
+	apply := func(cl dictionary.Class) {
+		if !cl.IsAction() {
+			return
+		}
+		switch cl.Action {
+		case dictionary.DoNotAnnounceTo:
+			if cl.Target == dictionary.TargetAll {
+				a.denyAll = true
+			} else {
+				if a.deny == nil {
+					a.deny = make(map[uint32]bool)
+				}
+				a.deny[cl.TargetASN] = true
+			}
+		case dictionary.AnnounceOnlyTo:
+			if cl.Target == dictionary.TargetAll {
+				// "announce to all" restores the default; nothing to do.
+				return
+			}
+			if a.allow == nil {
+				a.allow = make(map[uint32]bool)
+			}
+			a.allow[cl.TargetASN] = true
+		case dictionary.PrependTo:
+			if cl.Target == dictionary.TargetAll {
+				a.prependAll = max(a.prependAll, cl.PrependCount)
+			} else {
+				if a.prepend == nil {
+					a.prepend = make(map[uint32]int)
+				}
+				a.prepend[cl.TargetASN] = max(a.prepend[cl.TargetASN], cl.PrependCount)
+			}
+		case dictionary.Blackhole:
+			a.blackhole = true
+		}
+	}
+	for _, c := range r.Communities {
+		apply(scheme.Classify(c))
+	}
+	for _, e := range r.ExtCommunities {
+		apply(scheme.ClassifyExtended(e))
+	}
+	for _, l := range r.LargeCommunities {
+		apply(scheme.ClassifyLarge(l))
+	}
+	return a
+}
+
+// exportAllowed decides whether a route with summary a may be exported
+// to target. Specific communities beat the general ones, matching
+// production BIRD filter chains:
+//
+//  1. 0:<target> denies,
+//  2. <rs>:<target> allows,
+//  3. 0:<rs> denies everyone else,
+//  4. default allow.
+func (a *actionSummary) exportAllowed(target uint32) bool {
+	if a.deny[target] {
+		return false
+	}
+	if a.allow[target] {
+		return true
+	}
+	return !a.denyAll
+}
+
+// prependFor returns how many prepends the exported path needs towards
+// target (the larger of the targeted and the to-everyone request).
+func (a *actionSummary) prependFor(target uint32) int {
+	return max(a.prependAll, a.prepend[target])
+}
+
+// ExportTo computes the routes the server propagates to member target:
+// every other member's accepted routes, minus those whose action
+// communities suppress the export, with prepending applied and (when
+// configured) action communities scrubbed. Routes are sorted by
+// prefix, then by announcing peer.
+func (s *Server) ExportTo(target uint32) []bgp.Route {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if _, ok := s.peers[target]; !ok {
+		return nil
+	}
+	var out []bgp.Route
+	for peerASN, rib := range s.ribIn {
+		if peerASN == target {
+			continue
+		}
+		for _, e := range rib {
+			if !e.actions.exportAllowed(target) {
+				continue
+			}
+			out = append(out, s.exportRoute(e, peerASN, target))
+		}
+	}
+	sortRoutes(out)
+	return out
+}
+
+// exportRoute materialises the per-target copy of one RIB entry.
+func (s *Server) exportRoute(e ribEntry, peerASN, target uint32) bgp.Route {
+	r := e.route.Clone()
+	if n := e.actions.prependFor(target); n > 0 {
+		r.ASPath = r.ASPath.Prepend(peerASN, n)
+	}
+	if s.cfg.ScrubActions {
+		scrubActions(s.cfg.Scheme, &r, e.actions.blackhole)
+	}
+	return r
+}
+
+// scrubActions drops the scheme's action communities of all three
+// flavours from the route. The RFC 7999 blackhole community is
+// retained when the route is a blackhole request, since downstream
+// members need to see it.
+func scrubActions(scheme *dictionary.Scheme, r *bgp.Route, keepBlackhole bool) {
+	comms := r.Communities[:0]
+	for _, c := range r.Communities {
+		cl := scheme.Classify(c)
+		if cl.IsAction() {
+			if keepBlackhole && cl.Action == dictionary.Blackhole {
+				comms = append(comms, c)
+			}
+			continue
+		}
+		comms = append(comms, c)
+	}
+	r.Communities = comms
+
+	exts := r.ExtCommunities[:0]
+	for _, e := range r.ExtCommunities {
+		if !scheme.ClassifyExtended(e).IsAction() {
+			exts = append(exts, e)
+		}
+	}
+	r.ExtCommunities = exts
+
+	larges := r.LargeCommunities[:0]
+	for _, l := range r.LargeCommunities {
+		cl := scheme.ClassifyLarge(l)
+		if cl.IsAction() {
+			if keepBlackhole && cl.Action == dictionary.Blackhole {
+				larges = append(larges, l)
+			}
+			continue
+		}
+		larges = append(larges, l)
+	}
+	r.LargeCommunities = larges
+}
+
+// NotExportedTo returns the routes the server withholds from member
+// target because of action communities — the complement of ExportTo
+// over the other members' accepted routes. Looking glasses expose this
+// view (alice-lg's "not exported" tab); it is how an operator checks
+// that their do-not-announce tags bite.
+func (s *Server) NotExportedTo(target uint32) []bgp.Route {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if _, ok := s.peers[target]; !ok {
+		return nil
+	}
+	var out []bgp.Route
+	for peerASN, rib := range s.ribIn {
+		if peerASN == target {
+			continue
+		}
+		for _, e := range rib {
+			if e.actions.exportAllowed(target) {
+				continue
+			}
+			out = append(out, e.route.Clone())
+		}
+	}
+	sortRoutes(out)
+	return out
+}
+
+// ExportToScan is the ablation twin of ExportTo: it ignores the
+// precomputed summaries and re-classifies every community of every
+// candidate route on each call.
+func (s *Server) ExportToScan(target uint32) []bgp.Route {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if _, ok := s.peers[target]; !ok {
+		return nil
+	}
+	var out []bgp.Route
+	for peerASN, rib := range s.ribIn {
+		if peerASN == target {
+			continue
+		}
+		for _, e := range rib {
+			summary := summarizeActions(s.cfg.Scheme, e.route)
+			if !summary.exportAllowed(target) {
+				continue
+			}
+			out = append(out, s.exportRoute(ribEntry{route: e.route, actions: summary}, peerASN, target))
+		}
+	}
+	sortRoutes(out)
+	return out
+}

@@ -1,0 +1,247 @@
+package rs
+
+import (
+	"net/netip"
+	"reflect"
+	"testing"
+
+	"ixplight/internal/bgp"
+	"ixplight/internal/dictionary"
+	"ixplight/internal/netutil"
+)
+
+// exportFixture builds a DE-CIX server with three peers: announcer
+// AS100 plus receivers AS200 and AS300.
+func exportFixture(t *testing.T) (*Server, *dictionary.Scheme) {
+	t.Helper()
+	s := testServer(t, "DE-CIX")
+	addPeer(t, s, 100, 1)
+	addPeer(t, s, 200, 2)
+	addPeer(t, s, 300, 3)
+	return s, dictionary.ProfileByName("DE-CIX")
+}
+
+func prefixesOf(routes []bgp.Route) []netip.Prefix {
+	out := make([]netip.Prefix, len(routes))
+	for i, r := range routes {
+		out[i] = r.Prefix
+	}
+	return out
+}
+
+func TestExportDefaultAnnouncesToAll(t *testing.T) {
+	s, _ := exportFixture(t)
+	announceOK(t, s, 100, route(100, 0))
+	if got := len(s.ExportTo(200)); got != 1 {
+		t.Errorf("AS200 export = %d routes", got)
+	}
+	if got := len(s.ExportTo(300)); got != 1 {
+		t.Errorf("AS300 export = %d routes", got)
+	}
+	// The announcer never sees its own route back.
+	if got := len(s.ExportTo(100)); got != 0 {
+		t.Errorf("AS100 export = %d routes, want 0", got)
+	}
+	// Unknown peers get nothing.
+	if got := s.ExportTo(999); got != nil {
+		t.Errorf("unknown peer export = %v", got)
+	}
+}
+
+func TestExportDoNotAnnounceTo(t *testing.T) {
+	s, scheme := exportFixture(t)
+	announceOK(t, s, 100, route(100, 0, scheme.DoNotAnnounce(200)))
+	if got := len(s.ExportTo(200)); got != 0 {
+		t.Errorf("AS200 must be suppressed, got %d routes", got)
+	}
+	if got := len(s.ExportTo(300)); got != 1 {
+		t.Errorf("AS300 export = %d routes, want 1", got)
+	}
+}
+
+func TestExportDoNotAnnounceAll(t *testing.T) {
+	s, scheme := exportFixture(t)
+	announceOK(t, s, 100, route(100, 0, scheme.DoNotAnnounceAll()))
+	if len(s.ExportTo(200)) != 0 || len(s.ExportTo(300)) != 0 {
+		t.Error("deny-all leaked a route")
+	}
+}
+
+func TestExportWhitelist(t *testing.T) {
+	// Block all + announce-only-to AS200: only AS200 receives it.
+	s, scheme := exportFixture(t)
+	announceOK(t, s, 100, route(100, 0, scheme.DoNotAnnounceAll(), scheme.AnnounceOnly(200)))
+	if got := len(s.ExportTo(200)); got != 1 {
+		t.Errorf("whitelisted AS200 export = %d routes, want 1", got)
+	}
+	if got := len(s.ExportTo(300)); got != 0 {
+		t.Errorf("AS300 export = %d routes, want 0", got)
+	}
+}
+
+func TestExportSpecificDenyBeatsAllow(t *testing.T) {
+	s, scheme := exportFixture(t)
+	announceOK(t, s, 100, route(100, 0, scheme.DoNotAnnounce(200), scheme.AnnounceOnly(200)))
+	if got := len(s.ExportTo(200)); got != 0 {
+		t.Errorf("specific deny must win, got %d routes", got)
+	}
+}
+
+func TestExportTargetingNonMemberHasNoEffect(t *testing.T) {
+	// The §5.5 scenario: AS100 tags routes against Hurricane Electric,
+	// which has no session — every actual member still receives the
+	// route, so the community achieves nothing.
+	s, scheme := exportFixture(t)
+	announceOK(t, s, 100, route(100, 0, scheme.DoNotAnnounce(6939)))
+	if got := len(s.ExportTo(200)); got != 1 {
+		t.Errorf("AS200 export = %d routes, want 1", got)
+	}
+	if got := len(s.ExportTo(300)); got != 1 {
+		t.Errorf("AS300 export = %d routes, want 1", got)
+	}
+}
+
+func TestExportPrepend(t *testing.T) {
+	s, scheme := exportFixture(t)
+	p2, _ := scheme.Prepend(2, 200)
+	announceOK(t, s, 100, route(100, 0, p2))
+
+	to200 := s.ExportTo(200)
+	if len(to200) != 1 {
+		t.Fatalf("AS200 export = %d routes", len(to200))
+	}
+	if want := (bgp.ASPath{100, 100, 100}); !reflect.DeepEqual(to200[0].ASPath, want) {
+		t.Errorf("AS200 path = %v, want %v", to200[0].ASPath, want)
+	}
+	to300 := s.ExportTo(300)
+	if want := (bgp.ASPath{100}); !reflect.DeepEqual(to300[0].ASPath, want) {
+		t.Errorf("AS300 path = %v, want %v", to300[0].ASPath, want)
+	}
+}
+
+func TestExportPrependAllAndMax(t *testing.T) {
+	s, scheme := exportFixture(t)
+	pAll, _ := scheme.Prepend(1, scheme.RSASN) // prepend 1x to everyone
+	p3, _ := scheme.Prepend(3, 200)            // and 3x to AS200
+	announceOK(t, s, 100, route(100, 0, pAll, p3))
+
+	if got := s.ExportTo(200)[0].ASPath.Len(); got != 4 {
+		t.Errorf("AS200 path len = %d, want 4 (3 prepends)", got)
+	}
+	if got := s.ExportTo(300)[0].ASPath.Len(); got != 2 {
+		t.Errorf("AS300 path len = %d, want 2 (1 prepend)", got)
+	}
+}
+
+func TestExportScrubsActionCommunities(t *testing.T) {
+	s, scheme := exportFixture(t)
+	info, _ := scheme.Info(3)
+	private := bgp.NewCommunity(100, 42) // member-private, unknown to the IXP
+	announceOK(t, s, 100, route(100, 0, scheme.DoNotAnnounce(300), info, private))
+
+	got := s.ExportTo(200)
+	if len(got) != 1 {
+		t.Fatalf("routes = %d", len(got))
+	}
+	comms := got[0].Communities
+	if bgp.HasCommunity(comms, scheme.DoNotAnnounce(300)) {
+		t.Error("action community not scrubbed")
+	}
+	if !bgp.HasCommunity(comms, info) {
+		t.Error("informational community scrubbed")
+	}
+	if !bgp.HasCommunity(comms, private) {
+		t.Error("unknown community scrubbed")
+	}
+}
+
+func TestExportKeepsBlackholeCommunity(t *testing.T) {
+	s, _ := exportFixture(t)
+	bh := bgp.Route{
+		Prefix:      netip.MustParsePrefix("1.2.3.4/32"),
+		NextHop:     netutil.PeerAddrV4(1),
+		ASPath:      bgp.ASPath{100},
+		Communities: []bgp.Community{bgp.BlackholeWellKnown},
+	}
+	announceOK(t, s, 100, bh)
+	got := s.ExportTo(200)
+	if len(got) != 1 {
+		t.Fatalf("routes = %d", len(got))
+	}
+	if !bgp.HasCommunity(got[0].Communities, bgp.BlackholeWellKnown) {
+		t.Error("blackhole community must survive scrubbing")
+	}
+}
+
+func TestExportNoScrubKeepsEverything(t *testing.T) {
+	s, err := New(Config{Scheme: dictionary.ProfileByName("DE-CIX")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addPeer(t, s, 100, 1)
+	addPeer(t, s, 200, 2)
+	scheme := s.Scheme()
+	announceOK(t, s, 100, route(100, 0, scheme.DoNotAnnounce(300)))
+	got := s.ExportTo(200)
+	if !bgp.HasCommunity(got[0].Communities, scheme.DoNotAnnounce(300)) {
+		t.Error("with ScrubActions off the community must be visible")
+	}
+}
+
+func TestExportToScanAgreesWithExportTo(t *testing.T) {
+	s, scheme := exportFixture(t)
+	p1, _ := scheme.Prepend(1, 300)
+	announceOK(t, s, 100, route(100, 0, scheme.DoNotAnnounce(200)))
+	announceOK(t, s, 100, route(100, 1, p1))
+	announceOK(t, s, 200, route(200, 2, scheme.DoNotAnnounceAll(), scheme.AnnounceOnly(300)))
+	announceOK(t, s, 300, route(300, 3))
+
+	for _, target := range []uint32{100, 200, 300} {
+		a, b := s.ExportTo(target), s.ExportToScan(target)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("target AS%d: ExportTo and ExportToScan disagree:\n %v\n %v", target, prefixesOf(a), prefixesOf(b))
+		}
+	}
+}
+
+func TestExportDeterministicOrder(t *testing.T) {
+	s, _ := exportFixture(t)
+	for i := 10; i > 0; i-- {
+		announceOK(t, s, 100, route(100, i))
+	}
+	a := prefixesOf(s.ExportTo(200))
+	b := prefixesOf(s.ExportTo(200))
+	if !reflect.DeepEqual(a, b) {
+		t.Error("export order unstable")
+	}
+	for i := 1; i < len(a); i++ {
+		if !a[i-1].Addr().Less(a[i].Addr()) {
+			t.Fatalf("export not sorted: %v before %v", a[i-1], a[i])
+		}
+	}
+}
+
+func TestNotExportedTo(t *testing.T) {
+	s, scheme := exportFixture(t)
+	announceOK(t, s, 100, route(100, 0, scheme.DoNotAnnounce(200)))
+	announceOK(t, s, 100, route(100, 1))
+	announceOK(t, s, 300, route(300, 2, scheme.DoNotAnnounceAll()))
+
+	// AS200 misses the avoid-tagged route and the deny-all one.
+	withheld := s.NotExportedTo(200)
+	if len(withheld) != 2 {
+		t.Fatalf("withheld = %d routes: %v", len(withheld), prefixesOf(withheld))
+	}
+	// Exported + withheld must partition the other members' routes.
+	if got := len(s.ExportTo(200)) + len(withheld); got != 3 {
+		t.Errorf("partition = %d routes, want 3", got)
+	}
+	// AS300 only misses the deny-all... which is its own route, so it
+	// misses only AS100's avoid-tagged? No: 0:200 targets AS200 only.
+	if got := len(s.NotExportedTo(300)); got != 0 {
+		t.Errorf("AS300 withheld = %d, want 0", got)
+	}
+	if s.NotExportedTo(999) != nil {
+		t.Error("unknown peer must get nil")
+	}
+}

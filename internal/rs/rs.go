@@ -1,0 +1,268 @@
+package rs
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"sync"
+
+	"ixplight/internal/bgp"
+	"ixplight/internal/dictionary"
+)
+
+// Config parameterises a route server instance.
+type Config struct {
+	// Scheme is the hosting IXP's community scheme; it drives both
+	// import special-cases (blackhole host routes) and export actions.
+	Scheme *dictionary.Scheme
+	// MaxPathLen rejects announcements with longer AS paths (0 = no
+	// limit). Production route servers commonly cap around 32–64.
+	MaxPathLen int
+	// MaxCommunities rejects announcements with more community values
+	// (0 = no limit) — DE-CIX's "too many communities" hygiene filter.
+	MaxCommunities int
+	// ScrubActions removes action communities from exported routes
+	// after acting on them (the default in the field).
+	ScrubActions bool
+	// AttachInfo makes the server tag every accepted route with its
+	// scheme's informational communities on ingress.
+	AttachInfo bool
+	// InfoPerRoute is how many informational tags ingress attaches
+	// (clamped to the scheme's InfoCount); 2 matches the roughly 1/3
+	// informational share of Fig. 3 for typical tagging rates.
+	InfoPerRoute int
+}
+
+// Peer is one member AS session at the route server.
+type Peer struct {
+	ASN    uint32
+	Name   string
+	AddrV4 netip.Addr
+	AddrV6 netip.Addr
+	// IPv4/IPv6 report which families the member established sessions
+	// for (Table 1 counts them separately).
+	IPv4 bool
+	IPv6 bool
+}
+
+// ribEntry is one accepted Adj-RIB-In route plus its precomputed
+// export action summary.
+type ribEntry struct {
+	route   bgp.Route
+	actions *actionSummary
+}
+
+// Server is an in-memory route server. All methods are safe for
+// concurrent use.
+type Server struct {
+	cfg Config
+
+	mu       sync.RWMutex
+	peers    map[uint32]*Peer
+	ribIn    map[uint32]map[netip.Prefix]ribEntry
+	filtered map[uint32][]FilteredRoute
+}
+
+// New builds a server for the given configuration. The scheme is
+// mandatory.
+func New(cfg Config) (*Server, error) {
+	if cfg.Scheme == nil {
+		return nil, fmt.Errorf("rs: config needs a community scheme")
+	}
+	if err := cfg.Scheme.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.InfoPerRoute > cfg.Scheme.InfoCount {
+		cfg.InfoPerRoute = cfg.Scheme.InfoCount
+	}
+	return &Server{
+		cfg:      cfg,
+		peers:    make(map[uint32]*Peer),
+		ribIn:    make(map[uint32]map[netip.Prefix]ribEntry),
+		filtered: make(map[uint32][]FilteredRoute),
+	}, nil
+}
+
+// Scheme returns the hosting IXP's community scheme.
+func (s *Server) Scheme() *dictionary.Scheme { return s.cfg.Scheme }
+
+// AddPeer registers a member session. Re-adding an existing ASN
+// updates its metadata without dropping routes.
+func (s *Server) AddPeer(p Peer) error {
+	if p.ASN == 0 {
+		return fmt.Errorf("rs: peer ASN must be non-zero")
+	}
+	if !p.IPv4 && !p.IPv6 {
+		return fmt.Errorf("rs: peer AS%d has no address family enabled", p.ASN)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cp := p
+	s.peers[p.ASN] = &cp
+	if _, ok := s.ribIn[p.ASN]; !ok {
+		s.ribIn[p.ASN] = make(map[netip.Prefix]ribEntry)
+	}
+	return nil
+}
+
+// RemovePeer drops a member and all its routes.
+func (s *Server) RemovePeer(asn uint32) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.peers, asn)
+	delete(s.ribIn, asn)
+	delete(s.filtered, asn)
+}
+
+// Peers returns the member list sorted by ASN.
+func (s *Server) Peers() []Peer {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Peer, 0, len(s.peers))
+	for _, p := range s.peers {
+		out = append(out, *p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ASN < out[j].ASN })
+	return out
+}
+
+// HasPeer reports whether asn has a session at the server — the
+// membership test behind the paper's §5.5 "targets not at the RS"
+// analysis.
+func (s *Server) HasPeer(asn uint32) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.peers[asn]
+	return ok
+}
+
+// Announce runs the import policy on r as announced by peerASN.
+// Accepted routes land in the peer's Adj-RIB-In (keyed by prefix, so a
+// re-announcement replaces the previous path); rejected routes are
+// recorded on the filtered list with their reason.
+func (s *Server) Announce(peerASN uint32, r bgp.Route) (FilterReason, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.peers[peerASN]; !ok {
+		return FilterNone, fmt.Errorf("rs: AS%d has no session", peerASN)
+	}
+	if reason := s.checkImport(peerASN, r); reason != FilterNone {
+		s.filtered[peerASN] = append(s.filtered[peerASN], FilteredRoute{Route: r.Clone(), Reason: reason})
+		return reason, nil
+	}
+	stored := r.Clone()
+	if s.cfg.AttachInfo {
+		for k := 0; k < s.cfg.InfoPerRoute; k++ {
+			info, err := s.cfg.Scheme.Info(k)
+			if err != nil {
+				break
+			}
+			if !bgp.HasCommunity(stored.Communities, info) {
+				stored.Communities = append(stored.Communities, info)
+			}
+		}
+	}
+	s.ribIn[peerASN][stored.Prefix] = ribEntry{
+		route:   stored,
+		actions: summarizeActions(s.cfg.Scheme, stored),
+	}
+	return FilterNone, nil
+}
+
+// Withdraw removes peerASN's route for prefix, if present.
+func (s *Server) Withdraw(peerASN uint32, prefix netip.Prefix) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if rib, ok := s.ribIn[peerASN]; ok {
+		delete(rib, prefix)
+	}
+}
+
+// AcceptedRoutes returns peerASN's accepted Adj-RIB-In routes, sorted
+// by prefix for deterministic snapshots.
+func (s *Server) AcceptedRoutes(peerASN uint32) []bgp.Route {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	rib, ok := s.ribIn[peerASN]
+	if !ok {
+		return nil
+	}
+	out := make([]bgp.Route, 0, len(rib))
+	for _, e := range rib {
+		out = append(out, e.route.Clone())
+	}
+	sortRoutes(out)
+	return out
+}
+
+// FilteredRoutes returns the routes rejected from peerASN.
+func (s *Server) FilteredRoutes(peerASN uint32) []FilteredRoute {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	src := s.filtered[peerASN]
+	out := make([]FilteredRoute, len(src))
+	for i, f := range src {
+		out[i] = FilteredRoute{Route: f.Route.Clone(), Reason: f.Reason}
+	}
+	return out
+}
+
+func sortRoutes(rs []bgp.Route) {
+	sort.Slice(rs, func(i, j int) bool {
+		a, b := rs[i].Prefix, rs[j].Prefix
+		if a.Addr() != b.Addr() {
+			return a.Addr().Less(b.Addr())
+		}
+		return a.Bits() < b.Bits()
+	})
+}
+
+// Stats summarises the server state with the quantities of Table 1.
+type Stats struct {
+	IXP            string
+	MembersV4      int
+	MembersV6      int
+	PrefixesV4     int
+	PrefixesV6     int
+	RoutesV4       int
+	RoutesV6       int
+	CommunitiesV4  int
+	CommunitiesV6  int
+	FilteredRoutes int
+}
+
+// Stats computes the current Table 1 row for this server.
+func (s *Server) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := Stats{IXP: s.cfg.Scheme.IXP}
+	for _, p := range s.peers {
+		if p.IPv4 {
+			st.MembersV4++
+		}
+		if p.IPv6 {
+			st.MembersV6++
+		}
+	}
+	seenV4 := make(map[netip.Prefix]bool)
+	seenV6 := make(map[netip.Prefix]bool)
+	for _, rib := range s.ribIn {
+		for _, e := range rib {
+			if e.route.IsIPv6() {
+				st.RoutesV6++
+				st.CommunitiesV6 += e.route.CommunityCount()
+				seenV6[e.route.Prefix] = true
+			} else {
+				st.RoutesV4++
+				st.CommunitiesV4 += e.route.CommunityCount()
+				seenV4[e.route.Prefix] = true
+			}
+		}
+	}
+	st.PrefixesV4 = len(seenV4)
+	st.PrefixesV6 = len(seenV6)
+	for _, f := range s.filtered {
+		st.FilteredRoutes += len(f)
+	}
+	return st
+}

@@ -1,0 +1,110 @@
+package rsconfig
+
+import (
+	"strings"
+	"testing"
+
+	"ixplight/internal/bgp"
+	"ixplight/internal/dictionary"
+)
+
+func TestRenderShape(t *testing.T) {
+	scheme := dictionary.ProfileByName("DE-CIX")
+	text := Render(scheme, Options{MaxCommunities: 100})
+	for _, want := range []string{
+		"router id 192.0.2.1;",
+		"define rs_asn = 6695;",
+		"filter ixp_import",
+		"bgp_path.len > 64",
+		"too many communities",
+		"(65535, 666)", // blackhole bypass
+		"define comm_0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("rendered config misses %q", want)
+		}
+	}
+	// LINX has no blackholing: the bypass stanza must be absent.
+	linx := Render(dictionary.ProfileByName("LINX"), Options{})
+	if strings.Contains(linx, "(65535, 666)") {
+		t.Error("LINX config must not mention the blackhole bypass")
+	}
+}
+
+// TestRoundTripAllSchemes pins the §3 extraction: parsing a rendered
+// config recovers exactly the scheme's RS-config entry set.
+func TestRoundTripAllSchemes(t *testing.T) {
+	for _, scheme := range dictionary.Profiles() {
+		text := Render(scheme, Options{})
+		defs, err := Parse(text)
+		if err != nil {
+			t.Fatalf("%s: %v", scheme.IXP, err)
+		}
+		want := scheme.RSConfigEntries()
+		if len(defs) != len(want) {
+			t.Fatalf("%s: parsed %d defs, want %d", scheme.IXP, len(defs), len(want))
+		}
+		for i, d := range defs {
+			w := want[i]
+			if d.Community != w.Community || d.Action != w.Action ||
+				d.Target != w.Target || d.TargetASN != w.TargetASN ||
+				d.Description != w.Description {
+				t.Errorf("%s def %d: got %+v want %+v", scheme.IXP, i, d, w)
+			}
+		}
+		// The converted entries union with the website docs back to the
+		// full dictionary (the §3 construction).
+		union := dictionary.UnionEntries(Entries(scheme.IXP, defs), scheme.WebsiteEntries())
+		if len(union) != len(scheme.Entries()) {
+			t.Errorf("%s: union = %d entries, want %d", scheme.IXP, len(union), len(scheme.Entries()))
+		}
+	}
+}
+
+func TestParseSkipsNonDefineLines(t *testing.T) {
+	text := "# comment\nrouter id 10.0.0.1;\n\ndefine rs_asn = 1;\n"
+	defs, err := Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(defs) != 0 {
+		t.Errorf("defs = %v", defs)
+	}
+}
+
+func TestParseRejectsMalformedDefines(t *testing.T) {
+	cases := []string{
+		"define comm_0 (0, 1); # x | all | y",                     // no '='
+		"define comm_0 = (0, 1);",                                 // no comment
+		"define comm_0 = 0:1; # do-not-announce-to | all | y",     // bad tuple
+		"define comm_0 = (0, 1); # do-not-announce-to | all",      // 2 fields
+		"define comm_0 = (0, 1); # explode | all | y",             // unknown action
+		"define comm_0 = (0, 1); # do-not-announce-to | ASx | y",  // bad target
+		"define comm_0 = (0, 1); # do-not-announce-to | here | y", // bad target kind
+		"define comm_0 = (0, 99999); # do-not-announce-to | all | y",
+	}
+	for _, line := range cases {
+		if _, err := Parse(line + "\n"); err == nil {
+			t.Errorf("accepted malformed line %q", line)
+		}
+	}
+}
+
+func TestParseTolerantOfWhitespace(t *testing.T) {
+	line := "   define comm_7 =   ( 0 , 15169 ) ;   #  do-not-announce-to  |  AS15169  |  do not announce to AS15169  \n"
+	defs, err := Parse(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(defs) != 1 {
+		t.Fatalf("defs = %v", defs)
+	}
+	d := defs[0]
+	if d.Community != bgp.NewCommunity(0, 15169) || d.TargetASN != 15169 ||
+		d.Action != dictionary.DoNotAnnounceTo {
+		t.Errorf("def = %+v", d)
+	}
+	if d.Description != "do not announce to AS15169" {
+		t.Errorf("description = %q", d.Description)
+	}
+}

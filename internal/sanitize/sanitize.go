@@ -1,0 +1,110 @@
+// Package sanitize implements the paper's §3 data sanitation: snapshot
+// series are inspected for "valleys" — days where the number of
+// members and/or prefixes drops at least 30% below the previous day
+// and returns to previous values on subsequent days — which indicate a
+// failure at the IXP or in the collection, not real routing change.
+// Valley snapshots are removed from the dataset (the paper dropped
+// 13.5% of its snapshots this way).
+package sanitize
+
+import (
+	"net/netip"
+
+	"ixplight/internal/collector"
+)
+
+// Options tune the valley detector. The zero value uses the paper's
+// parameters.
+type Options struct {
+	// DropThreshold is the relative fall that flags a valley
+	// (default 0.30, the paper's "dropped at least 30%").
+	DropThreshold float64
+	// RecoveryTolerance is how close to the pre-valley level the
+	// series must return for the dip to count as a transient valley
+	// rather than a genuine decline (default 0.15).
+	RecoveryTolerance float64
+	// RecoveryWindow is how many subsequent snapshots may pass before
+	// recovery (default 3).
+	RecoveryWindow int
+}
+
+func (o *Options) setDefaults() {
+	if o.DropThreshold == 0 {
+		o.DropThreshold = 0.30
+	}
+	if o.RecoveryTolerance == 0 {
+		o.RecoveryTolerance = 0.15
+	}
+	if o.RecoveryWindow == 0 {
+		o.RecoveryWindow = 3
+	}
+}
+
+// seriesCounts extracts the member and prefix series the detector
+// inspects (both families combined; a collection failure hits both).
+func seriesCounts(s *collector.Snapshot) (members, prefixes int) {
+	prefixSet := make(map[netip.Prefix]bool)
+	for _, r := range s.Routes {
+		prefixSet[r.Prefix] = true
+	}
+	return len(s.Members), len(prefixSet)
+}
+
+// DetectValleys returns the indices of valley snapshots in the series.
+func DetectValleys(snaps []*collector.Snapshot, opts Options) []int {
+	opts.setDefaults()
+	n := len(snaps)
+	members := make([]int, n)
+	prefixes := make([]int, n)
+	for i, s := range snaps {
+		members[i], prefixes[i] = seriesCounts(s)
+	}
+	var valleys []int
+	for i := 1; i < n; i++ {
+		if isValley(members, i, opts) || isValley(prefixes, i, opts) {
+			valleys = append(valleys, i)
+		}
+	}
+	return valleys
+}
+
+// isValley reports whether series[i] dropped ≥ threshold below
+// series[i-1] and recovered within the window.
+func isValley(series []int, i int, opts Options) bool {
+	prev := series[i-1]
+	if prev == 0 {
+		return false
+	}
+	drop := 1 - float64(series[i])/float64(prev)
+	if drop < opts.DropThreshold {
+		return false
+	}
+	// Recovery: some snapshot within the window returns near (or
+	// above) the pre-valley level.
+	floor := float64(prev) * (1 - opts.RecoveryTolerance)
+	for j := i + 1; j <= i+opts.RecoveryWindow && j < len(series); j++ {
+		if float64(series[j]) >= floor {
+			return true
+		}
+	}
+	return false
+}
+
+// Clean removes valley snapshots and returns the surviving series plus
+// the number removed.
+func Clean(snaps []*collector.Snapshot, opts Options) (kept []*collector.Snapshot, removed int) {
+	valleys := DetectValleys(snaps, opts)
+	bad := make(map[int]bool, len(valleys))
+	for _, i := range valleys {
+		bad[i] = true
+	}
+	kept = make([]*collector.Snapshot, 0, len(snaps))
+	for i, s := range snaps {
+		if bad[i] {
+			removed++
+			continue
+		}
+		kept = append(kept, s)
+	}
+	return kept, removed
+}

@@ -1,0 +1,126 @@
+// Package webdocs models the second source of the paper's §3
+// dictionary: the BGP-communities documentation pages IXPs publish on
+// their websites. Render produces the HTML table such a page carries
+// (in the style of DE-CIX's route-server guide or the IX.br
+// communities PDF); Parse scrapes the community semantics back out of
+// any page using that table shape. Together with internal/rsconfig
+// (the RS configuration file) this completes the §3 construction:
+// dictionary = union(RS config, website documentation).
+package webdocs
+
+import (
+	"fmt"
+	"html"
+	"regexp"
+	"strings"
+
+	"ixplight/internal/bgp"
+	"ixplight/internal/dictionary"
+)
+
+// Render emits the documentation page for one scheme: an HTML document
+// with one table row per documented community.
+func Render(scheme *dictionary.Scheme) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "<!DOCTYPE html>\n<html><head><title>%s route server BGP communities</title></head>\n<body>\n",
+		html.EscapeString(scheme.IXP))
+	fmt.Fprintf(&b, "<h1>%s action &amp; informational BGP communities</h1>\n", html.EscapeString(scheme.IXP))
+	fmt.Fprintf(&b, "<p>Route server ASN: AS%d</p>\n", scheme.RSASN)
+	b.WriteString("<table class=\"communities\">\n")
+	b.WriteString("<tr><th>Community</th><th>Type</th><th>Description</th></tr>\n")
+	for _, e := range scheme.WebsiteEntries() {
+		fmt.Fprintf(&b, "<tr><td>%s</td><td>%s</td><td>%s</td></tr>\n",
+			e.Community, e.Action, html.EscapeString(e.Description))
+	}
+	b.WriteString("</table>\n</body></html>\n")
+	return b.String()
+}
+
+// rowRe matches one table row with three cells. The scrape is
+// deliberately forgiving about attributes and whitespace — website
+// markup varies — but strict about the cell contents it extracts.
+var (
+	rowRe  = regexp.MustCompile(`(?is)<tr[^>]*>(.*?)</tr>`)
+	cellRe = regexp.MustCompile(`(?is)<td[^>]*>(.*?)</td>`)
+	tagRe  = regexp.MustCompile(`(?s)<[^>]*>`)
+)
+
+// Doc is one community row scraped from a documentation page.
+type Doc struct {
+	Community   bgp.Community
+	Action      dictionary.ActionType
+	Description string
+}
+
+// Parse scrapes the community table out of a documentation page.
+// Rows without three cells (headers, layout rows) are skipped; rows
+// whose first cell is not a community, or whose second cell is not a
+// known type, are reported as errors so a layout change cannot
+// silently shrink the dictionary.
+func Parse(page string) ([]Doc, error) {
+	var out []Doc
+	for _, row := range rowRe.FindAllStringSubmatch(page, -1) {
+		cells := cellRe.FindAllStringSubmatch(row[1], -1)
+		if len(cells) != 3 {
+			continue // header or unrelated row
+		}
+		commText := cleanCell(cells[0][1])
+		comm, err := bgp.ParseCommunity(commText)
+		if err != nil {
+			return nil, fmt.Errorf("webdocs: bad community cell %q: %v", commText, err)
+		}
+		actionText := cleanCell(cells[1][1])
+		action, err := parseAction(actionText)
+		if err != nil {
+			return nil, fmt.Errorf("webdocs: community %s: %v", comm, err)
+		}
+		out = append(out, Doc{
+			Community:   comm,
+			Action:      action,
+			Description: cleanCell(cells[2][1]),
+		})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("webdocs: no community rows found")
+	}
+	return out, nil
+}
+
+func cleanCell(s string) string {
+	s = tagRe.ReplaceAllString(s, "")
+	return strings.TrimSpace(html.UnescapeString(s))
+}
+
+func parseAction(s string) (dictionary.ActionType, error) {
+	for _, a := range []dictionary.ActionType{
+		dictionary.Informational, dictionary.DoNotAnnounceTo,
+		dictionary.AnnounceOnlyTo, dictionary.PrependTo, dictionary.Blackhole,
+	} {
+		if a.String() == s {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown community type %q", s)
+}
+
+// Entries converts scraped docs into dictionary entries for one IXP,
+// recovering the target from the community value under the scheme
+// (the website states semantics; the encoding carries the target).
+func Entries(scheme *dictionary.Scheme, docs []Doc) []dictionary.Entry {
+	out := make([]dictionary.Entry, 0, len(docs))
+	for _, d := range docs {
+		cl := scheme.Classify(d.Community)
+		e := dictionary.Entry{
+			Community:   d.Community,
+			IXP:         scheme.IXP,
+			Action:      d.Action,
+			Description: d.Description,
+		}
+		if cl.Known {
+			e.Target = cl.Target
+			e.TargetASN = cl.TargetASN
+		}
+		out = append(out, e)
+	}
+	return out
+}
