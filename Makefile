@@ -1,0 +1,21 @@
+# Pre-PR check: `make check` runs vet, a full build, and the test
+# suite with the race detector (the collector and LG client are
+# exercised concurrently; -race is part of the contract).
+
+GO ?= go
+
+.PHONY: check vet build test race
+
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...

@@ -1,10 +1,14 @@
 // Command collect crawls a looking glass into a snapshot file — the
-// §3 collection step.
+// §3 collection step, with the fault tolerance the twelve-week
+// campaign needed: degraded (partial) snapshots, per-target error
+// budgets, and checkpoint/resume.
 //
 // Usage:
 //
 //	collect -url http://localhost:8080 [-date 2021-10-04] [-out ./data]
-//	        [-codec json|json.gz|gob|gob.gz] [-interval 100ms] [-retries 5]
+//	        [-codec json|json.gz|gob|gob.gz|mrt] [-interval 100ms] [-retries 5]
+//	        [-partial] [-resume] [-checkpoint path]
+//	        [-neighbor-retries 1] [-error-budget 0] [-request-timeout 30s]
 package main
 
 import (
@@ -29,6 +33,12 @@ func main() {
 	interval := flag.Duration("interval", 50*time.Millisecond, "minimum delay between LG requests")
 	retries := flag.Int("retries", 5, "retries per failed request")
 	timeout := flag.Duration("timeout", 10*time.Minute, "overall collection deadline")
+	reqTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request deadline (0 = none)")
+	partial := flag.Bool("partial", false, "keep degraded snapshots: record failed neighbors instead of aborting")
+	resume := flag.Bool("resume", false, "resume from the checkpoint file if one exists")
+	checkpoint := flag.String("checkpoint", "", "checkpoint file for crawl progress (default <out>/checkpoint-<date>.json)")
+	neighborRetries := flag.Int("neighbor-retries", 1, "extra crawl attempts per failing neighbor")
+	errorBudget := flag.Int("error-budget", 0, "consecutive neighbor failures before abandoning the LG (0 = unlimited)")
 	flag.Parse()
 
 	asMRT := *codecName == "mrt"
@@ -41,15 +51,41 @@ func main() {
 		}
 	}
 	client := lg.NewClient(*url, lg.ClientOptions{
-		MinInterval:  *interval,
-		MaxRetries:   *retries,
-		RetryBackoff: 100 * time.Millisecond,
+		MinInterval:    *interval,
+		MaxRetries:     *retries,
+		RetryBackoff:   100 * time.Millisecond,
+		RequestTimeout: *reqTimeout,
 	})
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 
+	ckptPath := *checkpoint
+	if ckptPath == "" {
+		ckptPath = filepath.Join(*out, fmt.Sprintf("checkpoint-%s.json", *date))
+	}
+	opts := collector.CollectOptions{
+		Partial:         *partial,
+		NeighborRetries: *neighborRetries,
+		ErrorBudget:     *errorBudget,
+	}
+	if *partial || *resume {
+		opts.CheckpointPath = ckptPath
+	}
+	if *resume {
+		ck, err := collector.LoadCheckpoint(ckptPath)
+		switch {
+		case err == nil:
+			log.Printf("resuming from %s: %d neighbors done, %d routes", ckptPath, len(ck.Done), len(ck.Routes))
+			opts.Checkpoint = ck
+		case os.IsNotExist(err):
+			log.Printf("no checkpoint at %s, starting fresh", ckptPath)
+		default:
+			log.Fatal(err)
+		}
+	}
+
 	start := time.Now()
-	snap, err := collector.Collect(ctx, client, *date)
+	snap, err := collector.CollectWithOptions(ctx, client, *date, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -62,9 +98,15 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if snap.Partial {
+		log.Printf("PARTIAL snapshot: %d neighbors missing", len(snap.MemberErrors))
+		for _, me := range snap.MemberErrors {
+			log.Printf("  AS%d [%s] after %d attempts: %s", me.ASN, me.Stage, me.Attempts, me.Err)
+		}
+	}
 	log.Printf("collected %s: %d members, %d routes, %d filtered (%d requests, %v) → %s",
 		snap.IXP, len(snap.Members), len(snap.Routes), snap.FilteredCount,
-		client.Requests, time.Since(start).Round(time.Millisecond), path)
+		client.Requests(), time.Since(start).Round(time.Millisecond), path)
 }
 
 // saveMRT writes the snapshot as a RouteViews-style TABLE_DUMP_V2

@@ -1,0 +1,81 @@
+package collector
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"ixplight/internal/bgp"
+)
+
+// Checkpoint persists the progress of one LG crawl so an interrupted
+// collection can resume without re-crawling finished neighbors. The
+// paper's twelve-week campaign could not afford to restart a
+// multi-hour crawl on every LG hiccup; neither can we.
+type Checkpoint struct {
+	IXP  string `json:"ixp"`
+	Date string `json:"date"` // YYYY-MM-DD
+	// Done lists the neighbor ASNs whose routes are fully collected.
+	Done []uint32 `json:"done"`
+	// Routes accumulates the routes of every done neighbor.
+	Routes []bgp.Route `json:"routes"`
+}
+
+// DoneSet returns the completed neighbors as a set.
+func (c *Checkpoint) DoneSet() map[uint32]bool {
+	set := make(map[uint32]bool, len(c.Done))
+	for _, asn := range c.Done {
+		set[asn] = true
+	}
+	return set
+}
+
+// MarkDone records one completed neighbor and its routes.
+func (c *Checkpoint) MarkDone(asn uint32, routes []bgp.Route) {
+	c.Done = append(c.Done, asn)
+	c.Routes = append(c.Routes, routes...)
+}
+
+// Matches reports whether the checkpoint belongs to the given crawl.
+func (c *Checkpoint) Matches(ixp, date string) bool {
+	return c.IXP == ixp && c.Date == date
+}
+
+// Save writes the checkpoint atomically (temp file + rename), so a
+// crash mid-write cannot corrupt the resume state.
+func (c *Checkpoint) Save(path string) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, ".checkpoint-*")
+	if err != nil {
+		return err
+	}
+	if err := json.NewEncoder(tmp).Encode(c); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// LoadCheckpoint reads a checkpoint written by Save. A missing file
+// is reported via os.IsNotExist on the returned error.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var c Checkpoint
+	if err := json.NewDecoder(f).Decode(&c); err != nil {
+		return nil, fmt.Errorf("collector: checkpoint %s: %w", path, err)
+	}
+	return &c, nil
+}

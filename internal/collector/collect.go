@@ -3,16 +3,56 @@ package collector
 import (
 	"context"
 	"fmt"
+	"os"
 
+	"ixplight/internal/bgp"
 	"ixplight/internal/dictionary"
 	"ixplight/internal/lg"
 	"ixplight/internal/rsconfig"
 )
 
+// CollectOptions tunes the fault tolerance of one LG crawl. The zero
+// value reproduces the strict all-or-nothing behaviour: the first
+// neighbor failure aborts the snapshot.
+type CollectOptions struct {
+	// Partial switches to degraded collection: a neighbor whose routes
+	// cannot be fetched is recorded in Snapshot.MemberErrors instead
+	// of aborting the whole snapshot.
+	Partial bool
+	// NeighborRetries re-crawls a failing neighbor this many extra
+	// times, on top of the client's own per-request retries.
+	NeighborRetries int
+	// ErrorBudget trips a circuit breaker after this many consecutive
+	// neighbor failures: the LG is abandoned, what was collected is
+	// kept, and the remaining neighbors are recorded as skipped.
+	// 0 means no budget (crawl every neighbor regardless).
+	ErrorBudget int
+	// Checkpoint resumes a previous crawl: neighbors it lists as done
+	// are not re-crawled and their routes are taken from it. The
+	// checkpoint must match the crawl's IXP and date.
+	Checkpoint *Checkpoint
+	// CheckpointPath persists progress after every completed neighbor
+	// when set. The file is removed once a snapshot completes with no
+	// member errors.
+	CheckpointPath string
+}
+
 // Collect crawls a looking glass into one snapshot, following the §3
 // recipe: fetch the peer summary first, then every peer's accepted
-// routes, recording only the count of filtered ones.
+// routes, recording only the count of filtered ones. The first
+// neighbor failure aborts the crawl; use CollectWithOptions for
+// degraded collection.
 func Collect(ctx context.Context, client *lg.Client, date string) (*Snapshot, error) {
+	return CollectWithOptions(ctx, client, date, CollectOptions{})
+}
+
+// CollectWithOptions crawls a looking glass with the given fault
+// tolerance. In Partial mode the returned snapshot may be degraded:
+// Snapshot.Partial is set and Snapshot.MemberErrors explains every
+// neighbor whose routes are missing. Status or neighbor-summary
+// failures are always fatal — without the member list there is no
+// snapshot to degrade.
+func CollectWithOptions(ctx context.Context, client *lg.Client, date string, opts CollectOptions) (*Snapshot, error) {
 	status, err := client.Status(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("collector: status: %w", err)
@@ -21,23 +61,85 @@ func Collect(ctx context.Context, client *lg.Client, date string) (*Snapshot, er
 	if err != nil {
 		return nil, fmt.Errorf("collector: neighbors: %w", err)
 	}
+	prog := opts.Checkpoint
+	if prog != nil && !prog.Matches(status.IXP, date) {
+		return nil, fmt.Errorf("collector: checkpoint is for %s/%s, not %s/%s",
+			prog.IXP, prog.Date, status.IXP, date)
+	}
+	if prog == nil {
+		prog = &Checkpoint{IXP: status.IXP, Date: date}
+	}
+	done := prog.DoneSet()
+
 	snap := &Snapshot{IXP: status.IXP, Date: date}
+	snap.Routes = append(snap.Routes, prog.Routes...)
+	consecutive := 0
+	tripped := false
 	for _, n := range neighbors {
 		snap.Members = append(snap.Members, Member{
 			ASN: n.ASN, Name: n.Description, IPv4: n.IPv4, IPv6: n.IPv6,
 		})
 		snap.FilteredCount += n.RoutesFiltered
+		if done[n.ASN] {
+			continue
+		}
 		if n.RoutesAccepted == 0 {
 			continue
 		}
-		routes, err := client.RoutesReceived(ctx, n.ASN)
-		if err != nil {
-			return nil, fmt.Errorf("collector: routes of AS%d: %w", n.ASN, err)
+		if tripped {
+			snap.MemberErrors = append(snap.MemberErrors, MemberError{
+				ASN: n.ASN, Stage: StageSkipped,
+				Err: fmt.Sprintf("error budget of %d consecutive failures exhausted", opts.ErrorBudget),
+			})
+			continue
 		}
+		routes, attempts, err := crawlNeighbor(ctx, client, n.ASN, opts.NeighborRetries)
+		if err != nil {
+			if !opts.Partial || ctx.Err() != nil {
+				return nil, fmt.Errorf("collector: routes of AS%d: %w", n.ASN, err)
+			}
+			snap.MemberErrors = append(snap.MemberErrors, MemberError{
+				ASN: n.ASN, Stage: StageRoutes, Err: err.Error(), Attempts: attempts,
+			})
+			consecutive++
+			if opts.ErrorBudget > 0 && consecutive >= opts.ErrorBudget {
+				tripped = true
+			}
+			continue
+		}
+		consecutive = 0
 		snap.Routes = append(snap.Routes, routes...)
+		prog.MarkDone(n.ASN, routes)
+		if opts.CheckpointPath != "" {
+			if err := prog.Save(opts.CheckpointPath); err != nil {
+				return nil, fmt.Errorf("collector: checkpoint: %w", err)
+			}
+		}
 	}
+	snap.Partial = len(snap.MemberErrors) > 0
 	snap.Normalize()
+	if !snap.Partial && opts.CheckpointPath != "" {
+		// The crawl is complete; the resume state has served its purpose.
+		os.Remove(opts.CheckpointPath)
+	}
 	return snap, nil
+}
+
+// crawlNeighbor fetches one neighbor's accepted routes with
+// neighbor-level retries, reporting how many attempts were made.
+func crawlNeighbor(ctx context.Context, client *lg.Client, asn uint32, retries int) ([]bgp.Route, int, error) {
+	var lastErr error
+	for attempt := 1; attempt <= retries+1; attempt++ {
+		routes, err := client.RoutesReceived(ctx, asn)
+		if err == nil {
+			return routes, attempt, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return nil, attempt, lastErr
+		}
+	}
+	return nil, retries + 1, lastErr
 }
 
 // FetchDictionary builds the §3 dictionary for one IXP the way the

@@ -2,6 +2,7 @@ package collector
 
 import (
 	"context"
+	"fmt"
 	"sort"
 	"sync"
 	"time"
@@ -19,22 +20,47 @@ type Target struct {
 	// single-connection rule applies to each looking glass, not to the
 	// collection as a whole.
 	Options lg.ClientOptions
+	// Collect tunes this target's fault tolerance (degraded
+	// collection, error budget, checkpoint/resume). Checkpoint paths
+	// must be distinct per target.
+	Collect CollectOptions
 }
 
 // Result is the outcome of crawling one target. Exactly one of
-// Snapshot/Err is set.
+// Snapshot/Err is set; a snapshot may be partial (degraded but kept).
 type Result struct {
 	Target   Target
 	Snapshot *Snapshot
 	Err      error
+	// Partial mirrors Snapshot.Partial: the crawl finished but some
+	// neighbors' routes are missing (see Snapshot.MemberErrors).
+	Partial  bool
 	Duration time.Duration
 	Requests int
+}
+
+// Summary renders a one-line human-readable outcome for logs.
+func (r Result) Summary() string {
+	switch {
+	case r.Err != nil:
+		return fmt.Sprintf("%s: failed: %v (%d requests, %v)",
+			r.Target.Name, r.Err, r.Requests, r.Duration.Round(time.Millisecond))
+	case r.Partial:
+		return fmt.Sprintf("%s: partial: %d members, %d routes, %d neighbor errors (%d requests, %v)",
+			r.Target.Name, len(r.Snapshot.Members), len(r.Snapshot.Routes),
+			len(r.Snapshot.MemberErrors), r.Requests, r.Duration.Round(time.Millisecond))
+	default:
+		return fmt.Sprintf("%s: ok: %d members, %d routes (%d requests, %v)",
+			r.Target.Name, len(r.Snapshot.Members), len(r.Snapshot.Routes),
+			r.Requests, r.Duration.Round(time.Millisecond))
+	}
 }
 
 // CollectAll crawls every target concurrently (at most parallel at a
 // time; 0 means all at once) and returns one result per target, in
 // target order. A failing LG does not abort the others — the paper's
-// collection had to tolerate individual LG outages.
+// collection had to tolerate individual LG outages — and targets in
+// degraded mode contribute partial snapshots instead of failures.
 func CollectAll(ctx context.Context, targets []Target, date string, parallel int) []Result {
 	if parallel <= 0 || parallel > len(targets) {
 		parallel = len(targets)
@@ -55,13 +81,14 @@ func CollectAll(ctx context.Context, targets []Target, date string, parallel int
 			}
 			start := time.Now()
 			client := lg.NewClient(tgt.URL, tgt.Options)
-			snap, err := Collect(ctx, client, date)
+			snap, err := CollectWithOptions(ctx, client, date, tgt.Collect)
 			results[i] = Result{
 				Target:   tgt,
 				Snapshot: snap,
 				Err:      err,
+				Partial:  snap != nil && snap.Partial,
 				Duration: time.Since(start),
-				Requests: client.Requests,
+				Requests: client.Requests(),
 			}
 		}(i, tgt)
 	}
@@ -69,8 +96,9 @@ func CollectAll(ctx context.Context, targets []Target, date string, parallel int
 	return results
 }
 
-// Succeeded filters the successful snapshots, sorted by IXP name for
-// deterministic downstream processing.
+// Succeeded filters the snapshots that were collected (including
+// partial ones), sorted by IXP name for deterministic downstream
+// processing.
 func Succeeded(results []Result) []*Snapshot {
 	var out []*Snapshot
 	for _, r := range results {
@@ -79,5 +107,16 @@ func Succeeded(results []Result) []*Snapshot {
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].IXP < out[j].IXP })
+	return out
+}
+
+// Degraded filters the results whose snapshot came back partial.
+func Degraded(results []Result) []Result {
+	var out []Result
+	for _, r := range results {
+		if r.Partial {
+			out = append(out, r)
+		}
+	}
 	return out
 }

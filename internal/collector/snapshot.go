@@ -28,16 +28,50 @@ type Member struct {
 	IPv6 bool   `json:"ipv6"`
 }
 
+// Collection stages recorded in MemberError.
+const (
+	// StageRoutes means the neighbor's route listing failed.
+	StageRoutes = "routes"
+	// StageSkipped means the neighbor was never attempted because the
+	// per-target error budget tripped the circuit breaker first.
+	StageSkipped = "skipped"
+)
+
+// MemberError records one neighbor whose routes could not be
+// collected. A partial snapshot carries one entry per missing member,
+// so degraded data always comes with explicit provenance — the §3
+// stance that a flagged gap beats a silently lost snapshot.
+type MemberError struct {
+	ASN      uint32 `json:"asn"`
+	Stage    string `json:"stage"`
+	Err      string `json:"error"`
+	Attempts int    `json:"attempts"`
+}
+
 // Snapshot is one day's view of one IXP route server: the member list
 // and the accepted routes of every member (the announcing member is
 // the first hop of each route's AS path). FilteredCount records how
-// many routes the RS rejected, without storing them.
+// many routes the RS rejected, without storing them. Partial flags a
+// degraded collection; MemberErrors then explains exactly which
+// members' routes are missing and why.
 type Snapshot struct {
-	IXP           string      `json:"ixp"`
-	Date          string      `json:"date"` // YYYY-MM-DD
-	Members       []Member    `json:"members"`
-	Routes        []bgp.Route `json:"routes"`
-	FilteredCount int         `json:"filtered_count"`
+	IXP           string        `json:"ixp"`
+	Date          string        `json:"date"` // YYYY-MM-DD
+	Members       []Member      `json:"members"`
+	Routes        []bgp.Route   `json:"routes"`
+	FilteredCount int           `json:"filtered_count"`
+	Partial       bool          `json:"partial,omitempty"`
+	MemberErrors  []MemberError `json:"member_errors,omitempty"`
+}
+
+// FailedMemberSet returns the ASNs whose routes are missing from a
+// partial snapshot.
+func (s *Snapshot) FailedMemberSet() map[uint32]bool {
+	set := make(map[uint32]bool, len(s.MemberErrors))
+	for _, e := range s.MemberErrors {
+		set[e.ASN] = true
+	}
+	return set
 }
 
 // Day parses the snapshot date.
@@ -87,10 +121,12 @@ func (s *Snapshot) RoutesFamily(v6 bool) []bgp.Route {
 	return out
 }
 
-// Normalize sorts members by ASN and routes by (family, prefix,
-// announcing peer) so that snapshots serialise deterministically.
+// Normalize sorts members (and member errors) by ASN and routes by
+// (family, prefix, announcing peer) so that snapshots serialise
+// deterministically.
 func (s *Snapshot) Normalize() {
 	sort.Slice(s.Members, func(i, j int) bool { return s.Members[i].ASN < s.Members[j].ASN })
+	sort.Slice(s.MemberErrors, func(i, j int) bool { return s.MemberErrors[i].ASN < s.MemberErrors[j].ASN })
 	sort.Slice(s.Routes, func(i, j int) bool {
 		a, b := s.Routes[i], s.Routes[j]
 		if a.IsIPv6() != b.IsIPv6() {

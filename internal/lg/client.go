@@ -6,7 +6,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"strconv"
+	"sync/atomic"
 	"time"
 
 	"ixplight/internal/bgp"
@@ -23,20 +26,38 @@ type ClientOptions struct {
 	// MaxRetries is how many times a failed request is retried.
 	MaxRetries int
 	// RetryBackoff is the base backoff between retries; it doubles on
-	// every attempt.
+	// every attempt, with full jitter, up to MaxBackoff.
 	RetryBackoff time.Duration
+	// MaxBackoff caps the exponential backoff (default 5s).
+	MaxBackoff time.Duration
+	// RequestTimeout bounds each individual HTTP request (0 = none) so
+	// a hung LG response is cut off and retried instead of stalling
+	// the whole crawl.
+	RequestTimeout time.Duration
+	// MaxRetryAfter caps how long a server's Retry-After header is
+	// honoured (default 30s), so a broken LG cannot park the crawl
+	// indefinitely.
+	MaxRetryAfter time.Duration
 	// HTTPClient overrides the transport (nil = http.DefaultClient).
 	HTTPClient *http.Client
 }
 
+// ErrConcurrentUse is returned when a Client is entered from two
+// goroutines at once, which would break the §3 single-connection
+// politeness contract. Create one Client per goroutine instead.
+var ErrConcurrentUse = errors.New("lg: concurrent use of Client (one Client per goroutine)")
+
 // Client crawls one looking glass. It is not safe for concurrent use —
 // deliberately: the collection keeps a single connection to the LG.
+// The contract is enforced: a method called while another is in
+// flight fails with ErrConcurrentUse.
 type Client struct {
 	base     string
 	opts     ClientOptions
 	http     *http.Client
 	lastReq  time.Time
-	Requests int // total requests issued, including retries
+	requests atomic.Int64
+	busy     atomic.Int32
 }
 
 // NewClient builds a client for the LG at base (e.g. the httptest
@@ -52,23 +73,44 @@ func NewClient(base string, opts ClientOptions) *Client {
 	if opts.RetryBackoff <= 0 {
 		opts.RetryBackoff = 10 * time.Millisecond
 	}
+	if opts.MaxBackoff <= 0 {
+		opts.MaxBackoff = 5 * time.Second
+	}
+	if opts.MaxRetryAfter <= 0 {
+		opts.MaxRetryAfter = 30 * time.Second
+	}
 	return &Client{base: base, opts: opts, http: hc}
 }
 
+// Requests reports the total requests issued, including retries.
+func (c *Client) Requests() int { return int(c.requests.Load()) }
+
+// acquire marks the client busy; release undoes it. The pair guards
+// the single-goroutine contract without serialising misuse silently.
+func (c *Client) acquire() error {
+	if !c.busy.CompareAndSwap(0, 1) {
+		return ErrConcurrentUse
+	}
+	return nil
+}
+
+func (c *Client) release() { c.busy.Store(0) }
+
 // get fetches one endpoint into out, honouring the rate limit and
-// retrying transient failures (5xx, 429, transport errors) with
-// exponential backoff.
+// retrying transient failures (5xx, 429, transport errors, truncated
+// bodies) with full-jitter exponential backoff. A 429 carrying a
+// Retry-After header is honoured, capped at MaxRetryAfter.
 func (c *Client) get(ctx context.Context, path string, out any) error {
 	var lastErr error
 	backoff := c.opts.RetryBackoff
 	for attempt := 0; attempt <= c.opts.MaxRetries; attempt++ {
 		if attempt > 0 {
+			wait := c.retryDelay(lastErr, &backoff)
 			select {
-			case <-time.After(backoff):
+			case <-time.After(wait):
 			case <-ctx.Done():
 				return ctx.Err()
 			}
-			backoff *= 2
 		}
 		if err := c.throttle(ctx); err != nil {
 			return err
@@ -77,12 +119,55 @@ func (c *Client) get(ctx context.Context, path string, out any) error {
 		if lastErr == nil {
 			return nil
 		}
+		if ctx.Err() != nil {
+			// The crawl itself was cancelled; no point retrying.
+			return lastErr
+		}
 		var re *retryableError
 		if !errors.As(lastErr, &re) {
 			return lastErr
 		}
 	}
 	return fmt.Errorf("lg: %s failed after %d attempts: %w", path, c.opts.MaxRetries+1, lastErr)
+}
+
+// retryDelay picks the wait before the next attempt: the server's
+// Retry-After if it sent one (capped), otherwise full jitter on the
+// doubling backoff.
+func (c *Client) retryDelay(lastErr error, backoff *time.Duration) time.Duration {
+	var re *retryableError
+	if errors.As(lastErr, &re) && re.retryAfter > 0 {
+		if re.retryAfter > c.opts.MaxRetryAfter {
+			return c.opts.MaxRetryAfter
+		}
+		return re.retryAfter
+	}
+	d := time.Duration(rand.Int63n(int64(*backoff) + 1))
+	*backoff *= 2
+	if *backoff > c.opts.MaxBackoff {
+		*backoff = c.opts.MaxBackoff
+	}
+	return d
+}
+
+// parseRetryAfter reads a Retry-After header value: delay-seconds or
+// an HTTP date. Unparseable or past values yield 0.
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if when, err := http.ParseTime(v); err == nil {
+		if d := time.Until(when); d > 0 {
+			return d
+		}
+	}
+	return 0
 }
 
 // throttle enforces MinInterval between requests.
@@ -102,29 +187,52 @@ func (c *Client) throttle(ctx context.Context) error {
 	return nil
 }
 
-// retryableError marks failures worth retrying.
-type retryableError struct{ err error }
+// retryableError marks failures worth retrying; retryAfter carries
+// the server's requested delay when it sent one.
+type retryableError struct {
+	err        error
+	retryAfter time.Duration
+}
 
 func (e *retryableError) Error() string { return e.err.Error() }
 func (e *retryableError) Unwrap() error { return e.err }
 
 func (c *Client) once(ctx context.Context, path string, out any) error {
+	if t := c.opts.RequestTimeout; t > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, t)
+		defer cancel()
+	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
 	if err != nil {
 		return err
 	}
-	c.Requests++
+	c.requests.Add(1)
 	resp, err := c.http.Do(req)
 	if err != nil {
-		return &retryableError{err}
+		return &retryableError{err: err}
 	}
 	defer resp.Body.Close()
 	switch {
 	case resp.StatusCode == http.StatusOK:
-		return json.NewDecoder(resp.Body).Decode(out)
-	case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500:
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			// A connection dying mid-body is as transient as a 500.
+			return &retryableError{err: fmt.Errorf("lg: %s: reading body: %w", path, err)}
+		}
+		if err := json.Unmarshal(body, out); err != nil {
+			return &retryableError{err: fmt.Errorf("lg: %s: invalid JSON (truncated response?): %w", path, err)}
+		}
+		return nil
+	case resp.StatusCode == http.StatusTooManyRequests:
 		io.Copy(io.Discard, resp.Body)
-		return &retryableError{fmt.Errorf("lg: %s: status %d", path, resp.StatusCode)}
+		return &retryableError{
+			err:        fmt.Errorf("lg: %s: status 429", path),
+			retryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+		}
+	case resp.StatusCode >= 500:
+		io.Copy(io.Discard, resp.Body)
+		return &retryableError{err: fmt.Errorf("lg: %s: status %d", path, resp.StatusCode)}
 	default:
 		io.Copy(io.Discard, resp.Body)
 		return fmt.Errorf("lg: %s: status %d", path, resp.StatusCode)
@@ -133,6 +241,10 @@ func (c *Client) once(ctx context.Context, path string, out any) error {
 
 // Status fetches the LG identity.
 func (c *Client) Status(ctx context.Context) (*StatusResponse, error) {
+	if err := c.acquire(); err != nil {
+		return nil, err
+	}
+	defer c.release()
 	var out StatusResponse
 	if err := c.get(ctx, "/api/v1/status", &out); err != nil {
 		return nil, err
@@ -143,6 +255,10 @@ func (c *Client) Status(ctx context.Context) (*StatusResponse, error) {
 // Neighbors fetches the member summary list (§3's "summary file with
 // the list of peers and the number of routes announced by each").
 func (c *Client) Neighbors(ctx context.Context) ([]Neighbor, error) {
+	if err := c.acquire(); err != nil {
+		return nil, err
+	}
+	defer c.release()
 	var out NeighborsResponse
 	if err := c.get(ctx, "/api/v1/routeservers/rs1/neighbors", &out); err != nil {
 		return nil, err
@@ -152,6 +268,10 @@ func (c *Client) Neighbors(ctx context.Context) ([]Neighbor, error) {
 
 // Config fetches the RS configuration community list.
 func (c *Client) Config(ctx context.Context) (*ConfigResponse, error) {
+	if err := c.acquire(); err != nil {
+		return nil, err
+	}
+	defer c.release()
 	var out ConfigResponse
 	if err := c.get(ctx, "/api/v1/routeservers/rs1/config", &out); err != nil {
 		return nil, err
@@ -161,14 +281,23 @@ func (c *Client) Config(ctx context.Context) (*ConfigResponse, error) {
 
 // ConfigRaw fetches the BIRD-style route-server configuration text.
 func (c *Client) ConfigRaw(ctx context.Context) (string, error) {
+	if err := c.acquire(); err != nil {
+		return "", err
+	}
+	defer c.release()
 	if err := c.throttle(ctx); err != nil {
 		return "", err
+	}
+	if t := c.opts.RequestTimeout; t > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, t)
+		defer cancel()
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/api/v1/routeservers/rs1/config/raw", nil)
 	if err != nil {
 		return "", err
 	}
-	c.Requests++
+	c.requests.Add(1)
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return "", err
@@ -185,9 +314,14 @@ func (c *Client) ConfigRaw(ctx context.Context) (string, error) {
 	return string(body), nil
 }
 
-// routesPaged walks every page of one routes endpoint.
+// routesPaged walks every page of one routes endpoint. The walk is
+// bounded: the page count implied by the first page's TotalCount caps
+// the loop, and a TotalCount that changes mid-crawl (the RIB shifted
+// under us) is an error — a partial, silently-wrong listing is worse
+// than a recorded failure.
 func (c *Client) routesPaged(ctx context.Context, endpoint string) ([]bgp.Route, error) {
 	var routes []bgp.Route
+	total, maxPages := 0, 0
 	for page := 0; ; page++ {
 		path := fmt.Sprintf("%s?page=%d", endpoint, page)
 		if c.opts.PageSize > 0 {
@@ -197,6 +331,22 @@ func (c *Client) routesPaged(ctx context.Context, endpoint string) ([]bgp.Route,
 		if err := c.get(ctx, path, &resp); err != nil {
 			return nil, err
 		}
+		if page == 0 {
+			total = resp.TotalCount
+			size := resp.PageSize
+			if size <= 0 {
+				size = len(resp.Routes)
+			}
+			if size <= 0 {
+				size = 1
+			}
+			maxPages = (total + size - 1) / size
+			if maxPages < 1 {
+				maxPages = 1
+			}
+		} else if resp.TotalCount != total {
+			return nil, fmt.Errorf("lg: %s: total count changed mid-crawl (%d -> %d)", endpoint, total, resp.TotalCount)
+		}
 		for _, ar := range resp.Routes {
 			r, err := DecodeRoute(ar)
 			if err != nil {
@@ -204,26 +354,44 @@ func (c *Client) routesPaged(ctx context.Context, endpoint string) ([]bgp.Route,
 			}
 			routes = append(routes, r)
 		}
+		if len(routes) > total {
+			return nil, fmt.Errorf("lg: %s: server returned %d routes for a declared total of %d", endpoint, len(routes), total)
+		}
 		if page >= resp.TotalPages-1 {
 			return routes, nil
+		}
+		if page+1 >= maxPages {
+			return nil, fmt.Errorf("lg: %s: pagination ran past the %d pages implied by %d routes", endpoint, maxPages, total)
 		}
 	}
 }
 
 // RoutesReceived fetches every accepted route of one neighbor.
 func (c *Client) RoutesReceived(ctx context.Context, asn uint32) ([]bgp.Route, error) {
+	if err := c.acquire(); err != nil {
+		return nil, err
+	}
+	defer c.release()
 	return c.routesPaged(ctx, fmt.Sprintf("/api/v1/routeservers/rs1/neighbors/%d/routes/received", asn))
 }
 
 // RoutesNotExported fetches the routes withheld from one neighbor by
 // action communities.
 func (c *Client) RoutesNotExported(ctx context.Context, asn uint32) ([]bgp.Route, error) {
+	if err := c.acquire(); err != nil {
+		return nil, err
+	}
+	defer c.release()
 	return c.routesPaged(ctx, fmt.Sprintf("/api/v1/routeservers/rs1/neighbors/%d/routes/not-exported", asn))
 }
 
 // FilteredCount fetches how many routes of one neighbor were filtered
 // (the collection records the count, not the routes).
 func (c *Client) FilteredCount(ctx context.Context, asn uint32) (int, error) {
+	if err := c.acquire(); err != nil {
+		return 0, err
+	}
+	defer c.release()
 	var resp RoutesResponse
 	path := fmt.Sprintf("/api/v1/routeservers/rs1/neighbors/%d/routes/filtered?page=0&page_size=1", asn)
 	if err := c.get(ctx, path, &resp); err != nil {

@@ -1,0 +1,173 @@
+package lg
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// FlakyOptions configures the failure-injection middleware. Each knob
+// reproduces one failure mode the paper's twelve-week collection had
+// to survive.
+type FlakyOptions struct {
+	// ErrorRate is the probability of answering 500 instead of the
+	// real response.
+	ErrorRate float64
+	// RateLimitEvery answers 429 on every n-th request when > 0,
+	// simulating LG query rate limits.
+	RateLimitEvery int
+	// RetryAfter is advertised in the Retry-After header of every 429
+	// (default 1s), matching real alice-lg deployments behind rate
+	// limiters.
+	RetryAfter time.Duration
+	// Latency delays every response by this much, simulating a slow or
+	// overloaded LG backend.
+	Latency time.Duration
+	// HangEvery makes every n-th request hang until the client gives
+	// up (its request context is cancelled) when > 0.
+	HangEvery int
+	// TruncateEvery cuts every n-th successful body in half when > 0:
+	// the declared Content-Length promises the full body, so the
+	// client sees the connection die mid-response.
+	TruncateEvery int
+	// ShrinkAfter shrinks the declared route totals of paginated
+	// listings (pages after the first) once more than n requests have
+	// been served, simulating RIB churn mid-crawl. 0 disables.
+	ShrinkAfter int
+	// NeighborOutage lists neighbor ASNs whose routes endpoints always
+	// answer 500 — a permanently broken per-peer view.
+	NeighborOutage []uint32
+	// Seed makes the injected failures reproducible.
+	Seed int64
+}
+
+// flakyRecorder buffers a downstream response so Flaky can tamper
+// with the body before it reaches the wire.
+type flakyRecorder struct {
+	header http.Header
+	status int
+	body   bytes.Buffer
+}
+
+func (r *flakyRecorder) Header() http.Header { return r.header }
+
+func (r *flakyRecorder) WriteHeader(code int) {
+	if r.status == 0 {
+		r.status = code
+	}
+}
+
+func (r *flakyRecorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	return r.body.Write(b)
+}
+
+// Flaky wraps an HTTP handler with deterministic failure injection —
+// the LG instability the paper's collection had to survive: 500s,
+// rate limits (with Retry-After), latency, hung connections,
+// truncated bodies, and mid-crawl pagination shrinkage.
+func Flaky(next http.Handler, opts FlakyOptions) http.Handler {
+	rng := rand.New(rand.NewSource(opts.Seed))
+	var mu sync.Mutex
+	count := 0
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		count++
+		n := count
+		roll := rng.Float64()
+		mu.Unlock()
+		if opts.Latency > 0 {
+			select {
+			case <-time.After(opts.Latency):
+			case <-r.Context().Done():
+				return
+			}
+		}
+		if opts.HangEvery > 0 && n%opts.HangEvery == 0 {
+			<-r.Context().Done()
+			return
+		}
+		if opts.RateLimitEvery > 0 && n%opts.RateLimitEvery == 0 {
+			w.Header().Set("Retry-After", retryAfterSeconds(opts.RetryAfter))
+			http.Error(w, "rate limited", http.StatusTooManyRequests)
+			return
+		}
+		for _, asn := range opts.NeighborOutage {
+			if strings.Contains(r.URL.Path, fmt.Sprintf("/neighbors/%d/routes", asn)) {
+				http.Error(w, "backend unavailable", http.StatusInternalServerError)
+				return
+			}
+		}
+		if roll < opts.ErrorRate {
+			http.Error(w, "internal error", http.StatusInternalServerError)
+			return
+		}
+		rec := &flakyRecorder{header: make(http.Header)}
+		next.ServeHTTP(rec, r)
+		body := rec.body.Bytes()
+		if opts.ShrinkAfter > 0 && n > opts.ShrinkAfter && rec.status == http.StatusOK &&
+			strings.Contains(r.URL.Path, "/routes/") && pastFirstPage(r) {
+			body = shrinkRoutesBody(body)
+		}
+		for k, vs := range rec.header {
+			for _, v := range vs {
+				w.Header().Add(k, v)
+			}
+		}
+		if opts.TruncateEvery > 0 && n%opts.TruncateEvery == 0 && rec.status == http.StatusOK && len(body) > 1 {
+			// Promise the full body, deliver half: the server closes the
+			// connection on the shortfall and the client reads an
+			// unexpected EOF.
+			w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+			w.WriteHeader(rec.status)
+			w.Write(body[:len(body)/2])
+			return
+		}
+		w.WriteHeader(rec.status)
+		w.Write(body)
+	})
+}
+
+func pastFirstPage(r *http.Request) bool {
+	p := r.URL.Query().Get("page")
+	return p != "" && p != "0"
+}
+
+// shrinkRoutesBody rewrites a RoutesResponse with one fewer declared
+// total, the signature of a RIB that shifted between pages.
+func shrinkRoutesBody(body []byte) []byte {
+	var resp RoutesResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		return body
+	}
+	if resp.TotalCount > 0 {
+		resp.TotalCount--
+	}
+	out, err := json.Marshal(resp)
+	if err != nil {
+		return body
+	}
+	return out
+}
+
+// retryAfterSeconds renders a Retry-After value in whole seconds
+// (minimum 1, the header's granularity).
+func retryAfterSeconds(d time.Duration) string {
+	if d <= 0 {
+		d = time.Second
+	}
+	secs := int(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}

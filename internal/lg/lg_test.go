@@ -109,8 +109,8 @@ func TestRoutesPagination(t *testing.T) {
 		t.Error("paginated routes differ from RS state")
 	}
 	// 5 pages of routes + neighbors-free direct call count.
-	if c.Requests != 5 {
-		t.Errorf("requests = %d, want 5 pages", c.Requests)
+	if c.Requests() != 5 {
+		t.Errorf("requests = %d, want 5 pages", c.Requests())
 	}
 }
 
@@ -180,8 +180,8 @@ func TestNotFoundAndBadRequests(t *testing.T) {
 	if _, err := c.RoutesReceived(context.Background(), 999); err == nil {
 		t.Error("want error for unknown neighbor")
 	}
-	if c.Requests != 1 {
-		t.Errorf("requests = %d, 404 must not be retried", c.Requests)
+	if c.Requests() != 1 {
+		t.Errorf("requests = %d, 404 must not be retried", c.Requests())
 	}
 }
 
@@ -201,7 +201,7 @@ func TestClientRetriesFlakyServer(t *testing.T) {
 	if len(routes) != 5 {
 		t.Errorf("routes = %d, want 5", len(routes))
 	}
-	if c.Requests <= 5 {
+	if c.Requests() <= 5 {
 		t.Error("expected retries to have happened")
 	}
 }
@@ -233,8 +233,8 @@ func TestClientGivesUpEventually(t *testing.T) {
 	if _, err := c.Status(context.Background()); err == nil {
 		t.Error("want error from permanently failing server")
 	}
-	if c.Requests != 3 {
-		t.Errorf("requests = %d, want 3 (1 + 2 retries)", c.Requests)
+	if c.Requests() != 3 {
+		t.Errorf("requests = %d, want 3 (1 + 2 retries)", c.Requests())
 	}
 }
 

@@ -4,10 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"math/rand"
 	"net/http"
 	"strconv"
-	"sync"
 
 	"ixplight/internal/dictionary"
 	"ixplight/internal/rs"
@@ -208,40 +206,4 @@ func targetLabel(e dictionary.Entry) string {
 	default:
 		return ""
 	}
-}
-
-// FlakyOptions configures the failure-injection middleware.
-type FlakyOptions struct {
-	// ErrorRate is the probability of answering 500 instead of the
-	// real response.
-	ErrorRate float64
-	// RateLimitEvery answers 429 on every n-th request when > 0,
-	// simulating LG query rate limits.
-	RateLimitEvery int
-	// Seed makes the injected failures reproducible.
-	Seed int64
-}
-
-// Flaky wraps an HTTP handler with deterministic failure injection —
-// the LG instability the paper's collection had to survive.
-func Flaky(next http.Handler, opts FlakyOptions) http.Handler {
-	rng := rand.New(rand.NewSource(opts.Seed))
-	var mu sync.Mutex
-	count := 0
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		mu.Lock()
-		count++
-		n := count
-		roll := rng.Float64()
-		mu.Unlock()
-		if opts.RateLimitEvery > 0 && n%opts.RateLimitEvery == 0 {
-			http.Error(w, "rate limited", http.StatusTooManyRequests)
-			return
-		}
-		if roll < opts.ErrorRate {
-			http.Error(w, "internal error", http.StatusInternalServerError)
-			return
-		}
-		next.ServeHTTP(w, r)
-	})
 }

@@ -170,6 +170,16 @@ type CollectTarget = collector.Target
 // CollectResult is the outcome of crawling one target.
 type CollectResult = collector.Result
 
+// CollectOptions tunes a crawl's fault tolerance: degraded (partial)
+// snapshots, per-neighbor retries, error budget, checkpoint/resume.
+type CollectOptions = collector.CollectOptions
+
+// MemberError records one neighbor missing from a partial snapshot.
+type MemberError = collector.MemberError
+
+// CollectCheckpoint persists crawl progress for resumable collections.
+type CollectCheckpoint = collector.Checkpoint
+
 // CollectAll crawls several looking glasses concurrently.
 func CollectAll(ctx context.Context, targets []CollectTarget, date string, parallel int) []CollectResult {
 	return collector.CollectAll(ctx, targets, date, parallel)
