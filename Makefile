@@ -1,10 +1,12 @@
 # Pre-PR check: `make check` runs vet, a full build, and the test
-# suite with the race detector (the collector and LG client are
-# exercised concurrently; -race is part of the contract).
+# suite with the race detector (the collector, LG client, analysis
+# index and experiment pool are exercised concurrently; -race is part
+# of the contract).
 
 GO ?= go
+BENCH_DATE := $(shell date +%Y%m%d)
 
-.PHONY: check vet build test race
+.PHONY: check vet build test race bench
 
 check: vet build race
 
@@ -19,3 +21,9 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# bench runs the full benchmark suite once and archives the results as
+# machine-readable JSON (BENCH_<yyyymmdd>.json), for comparison across
+# commits. The live text output still streams to the terminal.
+bench:
+	$(GO) test -bench=. -benchmem -count=1 . | $(GO) run ./cmd/benchjson -out BENCH_$(BENCH_DATE).json -date $(BENCH_DATE)

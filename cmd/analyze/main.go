@@ -5,21 +5,29 @@
 //
 //	analyze [-exp all|table1|fig1|...|sanitation] [-scale 0.05] [-seed 42]
 //	        [-ixps IX.br-SP,DE-CIX,LINX,AMS-IX | all] [-snapshots dir]
+//	        [-parallel N]
 //
 // Without -snapshots it generates the calibrated synthetic workload;
 // with -snapshots it loads stored snapshot files for the latest date
 // per IXP instead.
+//
+// -parallel bounds the worker pools: experiments fan out across the
+// pool, each writing to an ordered buffer, so the output is
+// byte-identical to a sequential run. -parallel 1 additionally
+// disables the classified snapshot index and restores the original
+// sequential direct-classify pipeline.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 
+	"ixplight/internal/analysis"
 	"ixplight/internal/collector"
 	"ixplight/internal/ixpgen"
 	"ixplight/internal/mrt"
@@ -33,13 +41,16 @@ func main() {
 	ixps := flag.String("ixps", "big4", "comma-separated IXP names, 'big4' or 'all'")
 	snapshotDir := flag.String("snapshots", "", "load snapshots from this directory instead of generating")
 	outDir := flag.String("out", "", "also write each experiment's output to <out>/<name>.txt")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
+		"worker budget for generation, analysis and experiments (1 = sequential direct-classify path)")
 	flag.Parse()
 
+	analysis.SetParallelism(*parallel)
 	profiles, err := selectProfiles(*ixps)
 	if err != nil {
 		fatal(err)
 	}
-	lab, err := report.NewLab(profiles, *seed, *scale)
+	lab, err := report.NewLabParallel(profiles, *seed, *scale, *parallel)
 	if err != nil {
 		fatal(err)
 	}
@@ -52,31 +63,27 @@ func main() {
 	names := report.ExperimentNames
 	if *exp != "all" {
 		names = strings.Split(*exp, ",")
+		for i := range names {
+			names[i] = strings.TrimSpace(names[i])
+		}
 	}
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
 			fatal(err)
 		}
 	}
-	for _, name := range names {
-		name = strings.TrimSpace(name)
-		out := io.Writer(os.Stdout)
-		var f *os.File
+	outs, runErr := lab.RunMany(names)
+	for i, out := range outs {
+		os.Stdout.Write(out)
 		if *outDir != "" {
-			var err error
-			f, err = os.Create(filepath.Join(*outDir, name+".txt"))
-			if err != nil {
+			path := filepath.Join(*outDir, names[i]+".txt")
+			if err := os.WriteFile(path, out, 0o644); err != nil {
 				fatal(err)
 			}
-			out = io.MultiWriter(os.Stdout, f)
 		}
-		err := lab.Run(out, name)
-		if f != nil {
-			f.Close()
-		}
-		if err != nil {
-			fatal(err)
-		}
+	}
+	if runErr != nil {
+		fatal(runErr)
 	}
 }
 

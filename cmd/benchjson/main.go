@@ -1,0 +1,158 @@
+// Command benchjson converts `go test -bench` text output into a
+// machine-readable JSON document, so benchmark runs can be archived
+// and diffed across commits (`make bench` writes BENCH_<yyyymmdd>.json).
+//
+// Usage:
+//
+//	go test -bench=. -benchmem -count=1 | benchjson -out BENCH_20211004.json
+//	benchjson -in bench.txt -out bench.json
+//
+// When reading from stdin the benchmark text is echoed to stdout, so
+// piping a live -bench run through benchjson still shows progress.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one benchmark line: its name (Benchmark prefix stripped),
+// the -cpu/GOMAXPROCS suffix, the iteration count and every reported
+// metric (ns/op, B/op, allocs/op plus any b.ReportMetric extras).
+type Result struct {
+	Name       string             `json:"name"`
+	Procs      int                `json:"procs"`
+	Iterations int                `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report is the top-level JSON document.
+type Report struct {
+	Date       string   `json:"date"`
+	Goos       string   `json:"goos,omitempty"`
+	Goarch     string   `json:"goarch,omitempty"`
+	Pkg        string   `json:"pkg,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	in := flag.String("in", "", "benchmark text file (default: stdin, echoed to stdout)")
+	out := flag.String("out", "", "JSON output file (default: stdout)")
+	date := flag.String("date", time.Now().Format("20060102"), "date stamp recorded in the report")
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	echo := *out != "" // echoing JSON into the same stream would garble it
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r, echo = f, false
+	}
+
+	report, err := parseBench(r, echo)
+	if err != nil {
+		fatal(err)
+	}
+	report.Date = *date
+
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+// parseBench reads `go test -bench` output: the goos/goarch/pkg/cpu
+// header, then one line per benchmark. Unrecognised lines (PASS, ok,
+// test log output) are skipped.
+func parseBench(r io.Reader, echo bool) (*Report, error) {
+	report := &Report{Benchmarks: []Result{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if echo {
+			fmt.Println(line)
+		}
+		if v, ok := strings.CutPrefix(line, "goos: "); ok {
+			report.Goos = v
+			continue
+		}
+		if v, ok := strings.CutPrefix(line, "goarch: "); ok {
+			report.Goarch = v
+			continue
+		}
+		if v, ok := strings.CutPrefix(line, "pkg: "); ok {
+			report.Pkg = v
+			continue
+		}
+		if v, ok := strings.CutPrefix(line, "cpu: "); ok {
+			report.CPU = v
+			continue
+		}
+		if res, ok := parseLine(line); ok {
+			report.Benchmarks = append(report.Benchmarks, res)
+		}
+	}
+	return report, sc.Err()
+}
+
+// parseLine parses one benchmark result line of the form
+//
+//	BenchmarkName/sub=x-8   30   77466453 ns/op   51552 B/op   131 allocs/op
+//
+// Metric values and units alternate after the iteration count.
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	procs := 1
+	// The trailing -N is GOMAXPROCS, but only on the last path element
+	// (sub-benchmark names may contain dashes themselves).
+	if i := strings.LastIndex(name, "-"); i > 0 && !strings.Contains(name[i:], "/") {
+		if n, err := strconv.Atoi(name[i+1:]); err == nil {
+			name, procs = name[:i], n
+		}
+	}
+	iters, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return Result{}, false
+	}
+	metrics := make(map[string]float64, (len(fields)-2)/2)
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		metrics[fields[i+1]] = v
+	}
+	if len(metrics) == 0 {
+		return Result{}, false
+	}
+	return Result{Name: name, Procs: procs, Iterations: iters, Metrics: metrics}, true
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

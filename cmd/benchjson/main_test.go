@@ -1,0 +1,66 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: ixplight
+cpu: AMD EPYC 7B13
+BenchmarkAblation_ClassifyDirect  	      30	  77466453 ns/op	   51552 B/op	     131 allocs/op
+BenchmarkAblation_ClassifyIndexed 	      30	  16638946 ns/op	 1822974 B/op	     125 allocs/op
+BenchmarkExpAll/parallel=1-8      	       2	 512345678 ns/op
+BenchmarkFigure1_DefinedVsUnknown 	      12	  90210042 ns/op	        92.10 defined_%	  104857 B/op	     421 allocs/op
+PASS
+ok  	ixplight	12.345s
+`
+
+func TestParseBench(t *testing.T) {
+	rep, err := parseBench(strings.NewReader(sample), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.Pkg != "ixplight" || rep.CPU != "AMD EPYC 7B13" {
+		t.Errorf("header: %+v", rep)
+	}
+	if len(rep.Benchmarks) != 4 {
+		t.Fatalf("got %d benchmarks, want 4", len(rep.Benchmarks))
+	}
+
+	direct := rep.Benchmarks[0]
+	if direct.Name != "Ablation_ClassifyDirect" || direct.Iterations != 30 {
+		t.Errorf("direct: %+v", direct)
+	}
+	if direct.Metrics["allocs/op"] != 131 || direct.Metrics["ns/op"] != 77466453 {
+		t.Errorf("direct metrics: %v", direct.Metrics)
+	}
+
+	sub := rep.Benchmarks[2]
+	if sub.Name != "ExpAll/parallel=1" || sub.Procs != 8 {
+		t.Errorf("sub-benchmark name/procs: %q procs=%d", sub.Name, sub.Procs)
+	}
+
+	custom := rep.Benchmarks[3]
+	if custom.Metrics["defined_%"] != 92.10 {
+		t.Errorf("custom metric: %v", custom.Metrics)
+	}
+	if custom.Procs != 1 {
+		t.Errorf("no -N suffix should default to 1 proc, got %d", custom.Procs)
+	}
+}
+
+func TestParseLineRejects(t *testing.T) {
+	for _, line := range []string{
+		"PASS",
+		"ok  	ixplight	12.345s",
+		"--- BENCH: BenchmarkFoo",
+		"BenchmarkBroken 	notanint	12 ns/op",
+		"BenchmarkNoMetrics 	12",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("parseLine(%q) accepted, want reject", line)
+		}
+	}
+}

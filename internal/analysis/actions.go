@@ -20,6 +20,15 @@ type TypeUsage struct {
 // of the four action groups, the number (and fraction) of RS members
 // tagging at least one route with a community of that group.
 func ASesPerActionType(s *collector.Snapshot, scheme *dictionary.Scheme, v6 bool) []TypeUsage {
+	if ix := indexFor(s, scheme); ix != nil {
+		return ix.ASesPerActionType(v6)
+	}
+	return ASesPerActionTypeDirect(s, scheme, v6)
+}
+
+// ASesPerActionTypeDirect is the direct-classify twin of
+// ASesPerActionType.
+func ASesPerActionTypeDirect(s *collector.Snapshot, scheme *dictionary.Scheme, v6 bool) []TypeUsage {
 	users := map[dictionary.ActionType]map[uint32]bool{}
 	for _, t := range dictionary.ActionTypes {
 		users[t] = make(map[uint32]bool)
@@ -52,6 +61,15 @@ func ASesPerActionType(s *collector.Snapshot, scheme *dictionary.Scheme, v6 bool
 // OccurrencesPerType counts action-community instances per group —
 // §5.3's second analysis.
 func OccurrencesPerType(s *collector.Snapshot, scheme *dictionary.Scheme, v6 bool) map[dictionary.ActionType]int {
+	if ix := indexFor(s, scheme); ix != nil {
+		return ix.OccurrencesPerType(v6)
+	}
+	return OccurrencesPerTypeDirect(s, scheme, v6)
+}
+
+// OccurrencesPerTypeDirect is the direct-classify twin of
+// OccurrencesPerType.
+func OccurrencesPerTypeDirect(s *collector.Snapshot, scheme *dictionary.Scheme, v6 bool) map[dictionary.ActionType]int {
 	out := make(map[dictionary.ActionType]int, len(dictionary.ActionTypes))
 	for _, r := range s.Routes {
 		if r.IsIPv6() != v6 {
@@ -75,7 +93,16 @@ type CommunityCount struct {
 // occurrence — Fig. 5's top-20 per IXP (ties broken by value for
 // determinism).
 func TopActionCommunities(s *collector.Snapshot, scheme *dictionary.Scheme, v6 bool, k int) []CommunityCount {
-	counts := make(map[bgp.Community]int)
+	if ix := indexFor(s, scheme); ix != nil {
+		return ix.TopActionCommunities(v6, k)
+	}
+	return TopActionCommunitiesDirect(s, scheme, v6, k)
+}
+
+// TopActionCommunitiesDirect is the direct-classify twin of
+// TopActionCommunities.
+func TopActionCommunitiesDirect(s *collector.Snapshot, scheme *dictionary.Scheme, v6 bool, k int) []CommunityCount {
+	counts := make(map[bgp.Community]int, 128)
 	for _, r := range s.Routes {
 		if r.IsIPv6() != v6 {
 			continue
@@ -84,13 +111,17 @@ func TopActionCommunities(s *collector.Snapshot, scheme *dictionary.Scheme, v6 b
 			counts[c]++
 		})
 	}
-	return rankCommunities(counts, scheme, k)
+	return rankCommunities(counts, scheme.Classify, k)
 }
 
-func rankCommunities(counts map[bgp.Community]int, scheme *dictionary.Scheme, k int) []CommunityCount {
+// rankCommunities sorts a community histogram by count (desc) then
+// value (asc) and truncates to k. classify resolves each value's
+// Class — the scheme's Classify on the direct path, the index memo on
+// the indexed one.
+func rankCommunities(counts map[bgp.Community]int, classify func(bgp.Community) dictionary.Class, k int) []CommunityCount {
 	out := make([]CommunityCount, 0, len(counts))
 	for c, n := range counts {
-		out = append(out, CommunityCount{Community: c, Class: scheme.Classify(c), Count: n})
+		out = append(out, CommunityCount{Community: c, Class: classify(c), Count: n})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Count != out[j].Count {
@@ -120,8 +151,17 @@ func (n NonMemberTargeting) Share() float64 { return ratio(n.Instances, n.Total)
 // with a specific AS target can be ineffective this way; to-all and
 // blackhole actions always have effect.
 func ComputeNonMemberTargeting(s *collector.Snapshot, scheme *dictionary.Scheme, v6 bool, k int) NonMemberTargeting {
+	if ix := indexFor(s, scheme); ix != nil {
+		return ix.NonMemberTargeting(v6, k)
+	}
+	return ComputeNonMemberTargetingDirect(s, scheme, v6, k)
+}
+
+// ComputeNonMemberTargetingDirect is the direct-classify twin of
+// ComputeNonMemberTargeting.
+func ComputeNonMemberTargetingDirect(s *collector.Snapshot, scheme *dictionary.Scheme, v6 bool, k int) NonMemberTargeting {
 	members := s.MemberSet()
-	counts := make(map[bgp.Community]int)
+	counts := make(map[bgp.Community]int, 64)
 	res := NonMemberTargeting{}
 	for _, r := range s.Routes {
 		if r.IsIPv6() != v6 {
@@ -135,7 +175,7 @@ func ComputeNonMemberTargeting(s *collector.Snapshot, scheme *dictionary.Scheme,
 			}
 		})
 	}
-	res.Top = rankCommunities(counts, scheme, k)
+	res.Top = rankCommunities(counts, scheme.Classify, k)
 	return res
 }
 
@@ -149,8 +189,16 @@ type Culprit struct {
 // CulpritRanking ranks the ASes tagging routes with communities that
 // target non-RS members — Fig. 7's top-k.
 func CulpritRanking(s *collector.Snapshot, scheme *dictionary.Scheme, v6 bool, k int) []Culprit {
+	if ix := indexFor(s, scheme); ix != nil {
+		return ix.CulpritRanking(v6, k)
+	}
+	return CulpritRankingDirect(s, scheme, v6, k)
+}
+
+// CulpritRankingDirect is the direct-classify twin of CulpritRanking.
+func CulpritRankingDirect(s *collector.Snapshot, scheme *dictionary.Scheme, v6 bool, k int) []Culprit {
 	members := s.MemberSet()
-	counts := make(map[uint32]int)
+	counts := make(map[uint32]int, len(s.Members))
 	for _, r := range s.Routes {
 		if r.IsIPv6() != v6 {
 			continue
@@ -161,6 +209,12 @@ func CulpritRanking(s *collector.Snapshot, scheme *dictionary.Scheme, v6 bool, k
 			}
 		})
 	}
+	return rankCulprits(counts, k)
+}
+
+// rankCulprits sorts a per-AS histogram into the Fig. 7 order
+// (count desc, ASN asc) and truncates to k.
+func rankCulprits(counts map[uint32]int, k int) []Culprit {
 	out := make([]Culprit, 0, len(counts))
 	for asn, n := range counts {
 		out = append(out, Culprit{ASN: asn, Count: n})
@@ -187,8 +241,16 @@ type TargetedAS struct {
 
 // TopTargets ranks the ASes most targeted by action communities.
 func TopTargets(s *collector.Snapshot, scheme *dictionary.Scheme, v6 bool, k int) []TargetedAS {
+	if ix := indexFor(s, scheme); ix != nil {
+		return ix.TopTargets(v6, k)
+	}
+	return TopTargetsDirect(s, scheme, v6, k)
+}
+
+// TopTargetsDirect is the direct-classify twin of TopTargets.
+func TopTargetsDirect(s *collector.Snapshot, scheme *dictionary.Scheme, v6 bool, k int) []TargetedAS {
 	members := s.MemberSet()
-	counts := make(map[uint32]int)
+	counts := make(map[uint32]int, 128)
 	for _, r := range s.Routes {
 		if r.IsIPv6() != v6 {
 			continue
@@ -203,14 +265,19 @@ func TopTargets(s *collector.Snapshot, scheme *dictionary.Scheme, v6 bool, k int
 	for asn, n := range counts {
 		out = append(out, TargetedAS{ASN: asn, IsMember: members[asn], Count: n})
 	}
+	sortTargets(out)
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// sortTargets orders targeted ASes by count (desc) then ASN (asc).
+func sortTargets(out []TargetedAS) {
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Count != out[j].Count {
 			return out[i].Count > out[j].Count
 		}
 		return out[i].ASN < out[j].ASN
 	})
-	if k > 0 && len(out) > k {
-		out = out[:k]
-	}
-	return out
 }

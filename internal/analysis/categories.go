@@ -36,6 +36,15 @@ type CategoryBreakdown struct {
 // ComputeCategoryBreakdown runs the §5.4 category aggregation for one
 // snapshot family.
 func ComputeCategoryBreakdown(s *collector.Snapshot, scheme *dictionary.Scheme, reg *asdb.Registry, v6 bool) CategoryBreakdown {
+	if ix := indexFor(s, scheme); ix != nil {
+		return ix.CategoryBreakdown(reg, v6)
+	}
+	return ComputeCategoryBreakdownDirect(s, scheme, reg, v6)
+}
+
+// ComputeCategoryBreakdownDirect is the direct-classify twin of
+// ComputeCategoryBreakdown.
+func ComputeCategoryBreakdownDirect(s *collector.Snapshot, scheme *dictionary.Scheme, reg *asdb.Registry, v6 bool) CategoryBreakdown {
 	members := s.MemberSet()
 	all := make(map[asdb.Category]int)
 	nonMembers := make(map[asdb.Category]int)

@@ -11,4 +11,17 @@
 // Every function takes a *collector.Snapshot plus the hosting IXP's
 // *dictionary.Scheme and an address-family selector, mirroring how the
 // paper slices each analysis per IXP and per family.
+//
+// Two execution paths back each entry point. The direct-classify
+// twins (ComputeUsageDirect, ComputeMixDirect, ...) re-walk the
+// snapshot and re-classify every community instance — the reference
+// implementation and the ablation baseline. When Parallelism() > 1
+// (the default on multi-core hosts), the public wrappers instead
+// consult a shared classified snapshot Index: one sharded pass per
+// (snapshot, scheme) pair that memoizes the Class of every distinct
+// community value and precomputes the aggregates all ~20 analyses
+// slice, so the full experiment battery classifies each distinct
+// value exactly once. SetParallelism(1) disables the index and
+// restores the direct path everywhere. Both paths produce identical
+// results; TestIndexMatchesDirect pins the equivalence.
 package analysis

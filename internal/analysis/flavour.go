@@ -30,6 +30,15 @@ func (f FlavourActions) TotalAction() int {
 
 // ComputeFlavourActions tallies the extension analysis for one family.
 func ComputeFlavourActions(s *collector.Snapshot, scheme *dictionary.Scheme, v6 bool) FlavourActions {
+	if ix := indexFor(s, scheme); ix != nil {
+		return ix.FlavourActions(v6)
+	}
+	return ComputeFlavourActionsDirect(s, scheme, v6)
+}
+
+// ComputeFlavourActionsDirect is the direct-classify twin of
+// ComputeFlavourActions.
+func ComputeFlavourActionsDirect(s *collector.Snapshot, scheme *dictionary.Scheme, v6 bool) FlavourActions {
 	var f FlavourActions
 	for _, r := range s.Routes {
 		if r.IsIPv6() != v6 {

@@ -35,16 +35,31 @@ func (h HygieneImpact) LoadShare() float64 {
 }
 
 // HygieneFilterImpact evaluates the §5.6 filter at each threshold.
+// The per-route counts are scheme-independent, so any cached index for
+// the snapshot can serve them; without one the direct walk is used.
 func HygieneFilterImpact(s *collector.Snapshot, v6 bool, thresholds []int) []HygieneImpact {
+	if ix := indexForSnapshot(s); ix != nil {
+		return ix.HygieneFilterImpact(v6, thresholds)
+	}
+	return HygieneFilterImpactDirect(s, v6, thresholds)
+}
+
+// HygieneFilterImpactDirect is the direct twin of HygieneFilterImpact.
+func HygieneFilterImpactDirect(s *collector.Snapshot, v6 bool, thresholds []int) []HygieneImpact {
 	counts := communityCounts(s, v6)
-	totalRoutes := len(counts)
 	totalComms := 0
 	for _, c := range counts {
 		totalComms += c
 	}
+	return hygieneImpacts(counts, totalComms, thresholds)
+}
+
+// hygieneImpacts evaluates each threshold over a per-route community
+// count series.
+func hygieneImpacts(counts []int, totalComms int, thresholds []int) []HygieneImpact {
 	out := make([]HygieneImpact, 0, len(thresholds))
 	for _, th := range thresholds {
-		h := HygieneImpact{Threshold: th, RoutesTotal: totalRoutes, CommunitiesTotal: totalComms}
+		h := HygieneImpact{Threshold: th, RoutesTotal: len(counts), CommunitiesTotal: totalComms}
 		for _, c := range counts {
 			if c > th {
 				h.RoutesDropped++
@@ -60,7 +75,21 @@ func HygieneFilterImpact(s *collector.Snapshot, v6 bool, thresholds []int) []Hyg
 // distribution at the given percentiles (0–100) — the evidence for
 // picking a §5.6 threshold.
 func CommunityCountPercentiles(s *collector.Snapshot, v6 bool, percentiles []float64) []int {
-	counts := communityCounts(s, v6)
+	if ix := indexForSnapshot(s); ix != nil {
+		return ix.CommunityCountPercentiles(v6, percentiles)
+	}
+	return CommunityCountPercentilesDirect(s, v6, percentiles)
+}
+
+// CommunityCountPercentilesDirect is the direct twin of
+// CommunityCountPercentiles.
+func CommunityCountPercentilesDirect(s *collector.Snapshot, v6 bool, percentiles []float64) []int {
+	return countPercentiles(communityCounts(s, v6), percentiles)
+}
+
+// countPercentiles sorts counts in place and reads off the requested
+// percentiles. Callers handing out shared state must pass a copy.
+func countPercentiles(counts []int, percentiles []float64) []int {
 	if len(counts) == 0 {
 		return make([]int, len(percentiles))
 	}

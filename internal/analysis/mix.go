@@ -58,6 +58,14 @@ func ratio(num, den int) float64 {
 
 // ComputeMix tallies the Fig. 1/2 mix for one family of a snapshot.
 func ComputeMix(s *collector.Snapshot, scheme *dictionary.Scheme, v6 bool) Mix {
+	if ix := indexFor(s, scheme); ix != nil {
+		return ix.Mix(v6)
+	}
+	return ComputeMixDirect(s, scheme, v6)
+}
+
+// ComputeMixDirect is the direct-classify twin of ComputeMix.
+func ComputeMixDirect(s *collector.Snapshot, scheme *dictionary.Scheme, v6 bool) Mix {
 	var m Mix
 	for _, r := range s.Routes {
 		if r.IsIPv6() != v6 {
@@ -91,6 +99,14 @@ func ComputeMix(s *collector.Snapshot, scheme *dictionary.Scheme, v6 bool) Mix {
 // ActionInfoSplit counts action vs informational instances among the
 // IXP-defined standard communities — Fig. 3.
 func ActionInfoSplit(s *collector.Snapshot, scheme *dictionary.Scheme, v6 bool) (action, info int) {
+	if ix := indexFor(s, scheme); ix != nil {
+		return ix.ActionInfoSplit(v6)
+	}
+	return ActionInfoSplitDirect(s, scheme, v6)
+}
+
+// ActionInfoSplitDirect is the direct-classify twin of ActionInfoSplit.
+func ActionInfoSplitDirect(s *collector.Snapshot, scheme *dictionary.Scheme, v6 bool) (action, info int) {
 	for _, r := range s.Routes {
 		if r.IsIPv6() != v6 {
 			continue

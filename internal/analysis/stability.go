@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"net/netip"
+	"sync"
 
 	"ixplight/internal/collector"
 )
@@ -17,7 +18,17 @@ type SnapshotCounts struct {
 }
 
 // CountSnapshot extracts one Appendix A row from a snapshot family.
+// The counts are scheme-independent, so any cached index for the
+// snapshot serves them; without one the direct walk is used.
 func CountSnapshot(s *collector.Snapshot, v6 bool) SnapshotCounts {
+	if ix := indexForSnapshot(s); ix != nil {
+		return ix.Counts(v6)
+	}
+	return CountSnapshotDirect(s, v6)
+}
+
+// CountSnapshotDirect is the direct twin of CountSnapshot.
+func CountSnapshotDirect(s *collector.Snapshot, v6 bool) SnapshotCounts {
 	c := SnapshotCounts{Date: s.Date}
 	if v6 {
 		c.Members = s.MembersV6()
@@ -84,15 +95,44 @@ func (t StabilityTable) MaxDiffPct() float64 {
 	return m
 }
 
-// Stability computes the Table 3/4 row over a snapshot window.
+// Stability computes the Table 3/4 row over a snapshot window. With
+// Parallelism() > 1 the per-snapshot counting fans out over a bounded
+// worker pool; each result lands in its snapshot's slot, so the table
+// is identical to the sequential walk.
 func Stability(snaps []*collector.Snapshot, v6 bool) StabilityTable {
-	var members, prefixes, routes, comms []int
-	for _, s := range snaps {
-		c := CountSnapshot(s, v6)
-		members = append(members, c.Members)
-		prefixes = append(prefixes, c.Prefixes)
-		routes = append(routes, c.Routes)
-		comms = append(comms, c.Communities)
+	rows := make([]SnapshotCounts, len(snaps))
+	workers := min(Parallelism(), len(snaps))
+	if workers <= 1 {
+		for i, s := range snaps {
+			rows[i] = CountSnapshot(s, v6)
+		}
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					rows[i] = CountSnapshot(snaps[i], v6)
+				}
+			}()
+		}
+		for i := range snaps {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+	members := make([]int, len(rows))
+	prefixes := make([]int, len(rows))
+	routes := make([]int, len(rows))
+	comms := make([]int, len(rows))
+	for i, c := range rows {
+		members[i] = c.Members
+		prefixes[i] = c.Prefixes
+		routes[i] = c.Routes
+		comms[i] = c.Communities
 	}
 	return StabilityTable{
 		Members:     newStabilityRow(members),

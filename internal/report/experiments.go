@@ -3,6 +3,7 @@ package report
 import (
 	"fmt"
 	"io"
+	"runtime"
 
 	"ixplight/internal/analysis"
 	"ixplight/internal/asdb"
@@ -40,23 +41,52 @@ type Lab struct {
 	// Seed and Scale record how the lab was generated.
 	Seed  int64
 	Scale float64
+	// Parallel bounds the lab's worker pools (experiment fan-out in
+	// RunMany, series generation). 0 or less means
+	// runtime.GOMAXPROCS(0); 1 runs everything sequentially. Results
+	// are identical for any value — parallel work lands in ordered
+	// slots.
+	Parallel int
+}
+
+// workers resolves the lab's worker budget.
+func (l *Lab) workers() int {
+	if l.Parallel < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return l.Parallel
 }
 
 // NewLab generates the latest-snapshot lab for the given profiles.
 func NewLab(profiles []ixpgen.Profile, seed int64, scale float64) (*Lab, error) {
+	return NewLabParallel(profiles, seed, scale, 0)
+}
+
+// NewLabParallel is NewLab with an explicit worker budget: the
+// per-IXP workload generation fans out across the pool. Generation is
+// seeded per profile, so the lab is identical for any worker count.
+func NewLabParallel(profiles []ixpgen.Profile, seed int64, scale float64, workers int) (*Lab, error) {
 	lab := &Lab{
 		Profiles:  profiles,
 		Snapshots: make(map[string]*collector.Snapshot, len(profiles)),
 		Registry:  asdb.Default(),
 		Seed:      seed,
 		Scale:     scale,
+		Parallel:  workers,
 	}
-	for _, p := range profiles {
-		w, err := ixpgen.Generate(p, ixpgen.Options{Seed: seed, Scale: scale})
+	snaps := make([]*collector.Snapshot, len(profiles))
+	if _, err := runPool(len(profiles), lab.workers(), func(i int) error {
+		w, err := ixpgen.Generate(profiles[i], ixpgen.Options{Seed: seed, Scale: scale})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		lab.Snapshots[p.IXP] = w.Snapshot("2021-10-04")
+		snaps[i] = w.Snapshot("2021-10-04")
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for i, p := range profiles {
+		lab.Snapshots[p.IXP] = snaps[i]
 	}
 	return lab, nil
 }
@@ -253,14 +283,20 @@ func (l *Lab) series(p ixpgen.Profile, days int, valleys []int) ([]*collector.Sn
 	if stored := l.Series[p.IXP]; len(stored) > 0 {
 		return stored, nil
 	}
+	// Day generation is independently seeded per day, so the series
+	// fans out across the lab's pool with each day landing in its own
+	// slot — the same date-ordered series for any worker count.
 	opts := ixpgen.TemporalOptions{Seed: l.Seed, Scale: l.Scale, Days: days, ValleyDays: valleys}
-	var snaps []*collector.Snapshot
-	for d := 0; d < days; d++ {
+	snaps := make([]*collector.Snapshot, days)
+	if _, err := runPool(days, l.workers(), func(d int) error {
 		wl, date, err := ixpgen.GenerateDay(p, opts, d)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		snaps = append(snaps, wl.Snapshot(date))
+		snaps[d] = wl.Snapshot(date)
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return snaps, nil
 }
@@ -309,7 +345,7 @@ func (l *Lab) runVisibility(w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		wl, err := ixpgen.Generate(p, ixpgen.Options{Seed: l.Seed, Scale: minFloat(l.Scale, 0.01)})
+		wl, err := ixpgen.Generate(p, ixpgen.Options{Seed: l.Seed, Scale: min(l.Scale, 0.01)})
 		if err != nil {
 			return err
 		}
@@ -428,13 +464,6 @@ func nameList(asns []uint32, reg *asdb.Registry, max int) string {
 		out += reg.Name(asn)
 	}
 	return out
-}
-
-func minFloat(a, b float64) float64 {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 func (l *Lab) runSanitation(w io.Writer) error {

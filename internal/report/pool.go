@@ -1,0 +1,85 @@
+package report
+
+import (
+	"bytes"
+	"sync"
+)
+
+// runPool runs fn(0), ..., fn(n-1) on a bounded pool of workers and
+// returns the index of the lowest failing task plus its error, or
+// (n, nil) when every task succeeds. Indices are dispatched in
+// ascending order; once a task fails, tasks with higher indices are
+// skipped (lower ones still run, so the winning error is the one the
+// sequential loop would have hit). workers <= 1 degenerates to the
+// plain sequential loop, stopping at the first error.
+func runPool(n, workers int, fn func(int) error) (int, error) {
+	if n <= 0 {
+		return 0, nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return i, err
+			}
+		}
+		return n, nil
+	}
+
+	var (
+		mu      sync.Mutex
+		failIdx = n
+		failErr error
+		next    = make(chan int)
+		wg      sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				mu.Lock()
+				skip := failErr != nil && i > failIdx
+				mu.Unlock()
+				if skip {
+					continue
+				}
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if failErr == nil || i < failIdx {
+						failIdx, failErr = i, err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return failIdx, failErr
+}
+
+// RunMany executes the named experiments across the lab's worker pool
+// and returns one output buffer per experiment, in input order — the
+// concatenation is byte-identical to running them sequentially.
+// Each experiment writes into its own ordered buffer, so `-exp all`
+// parallelism never interleaves output. On failure the slice holds
+// the complete outputs of the experiments preceding the lowest
+// failing one (a failing experiment's partial output is dropped),
+// alongside that experiment's error.
+func (l *Lab) RunMany(names []string) ([][]byte, error) {
+	bufs := make([]bytes.Buffer, len(names))
+	stop, err := runPool(len(names), l.workers(), func(i int) error {
+		return l.Run(&bufs[i], names[i])
+	})
+	outs := make([][]byte, 0, stop)
+	for i := 0; i < stop && i < len(names); i++ {
+		outs = append(outs, bufs[i].Bytes())
+	}
+	return outs, err
+}
