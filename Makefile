@@ -22,8 +22,12 @@ test:
 race:
 	$(GO) test -race ./...
 
-# bench runs the full benchmark suite once and archives the results as
+# bench runs the full benchmark suite once — the paper-experiment
+# benches in the root package plus the collection-path benches in
+# internal/collector (crawl parallelism, snapshot codecs) and
+# internal/lg (client hot paths) — and archives the merged results as
 # machine-readable JSON (BENCH_<yyyymmdd>.json), for comparison across
 # commits. The live text output still streams to the terminal.
+BENCH_PKGS := . ./internal/collector ./internal/lg
 bench:
-	$(GO) test -bench=. -benchmem -count=1 . | $(GO) run ./cmd/benchjson -out BENCH_$(BENCH_DATE).json -date $(BENCH_DATE)
+	$(GO) test -bench=. -benchmem -count=1 $(BENCH_PKGS) | $(GO) run ./cmd/benchjson -out BENCH_$(BENCH_DATE).json -date $(BENCH_DATE)

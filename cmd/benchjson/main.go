@@ -24,16 +24,21 @@ import (
 )
 
 // Result is one benchmark line: its name (Benchmark prefix stripped),
-// the -cpu/GOMAXPROCS suffix, the iteration count and every reported
-// metric (ns/op, B/op, allocs/op plus any b.ReportMetric extras).
+// the package it ran in, the -cpu/GOMAXPROCS suffix, the iteration
+// count and every reported metric (ns/op, B/op, allocs/op plus any
+// b.ReportMetric extras).
 type Result struct {
 	Name       string             `json:"name"`
+	Pkg        string             `json:"pkg,omitempty"`
 	Procs      int                `json:"procs"`
 	Iterations int                `json:"iterations"`
 	Metrics    map[string]float64 `json:"metrics"`
 }
 
-// Report is the top-level JSON document.
+// Report is the top-level JSON document. A multi-package run (`go
+// test -bench=. ./pkg1 ./pkg2`) emits one pkg: header per package;
+// each Result carries its own Pkg, and the top-level Pkg is only set
+// when the whole run covered a single package.
 type Report struct {
 	Date       string   `json:"date"`
 	Goos       string   `json:"goos,omitempty"`
@@ -85,6 +90,8 @@ func main() {
 // test log output) are skipped.
 func parseBench(r io.Reader, echo bool) (*Report, error) {
 	report := &Report{Benchmarks: []Result{}}
+	pkgs := map[string]bool{}
+	curPkg := ""
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1024*1024), 1024*1024)
 	for sc.Scan() {
@@ -101,7 +108,8 @@ func parseBench(r io.Reader, echo bool) (*Report, error) {
 			continue
 		}
 		if v, ok := strings.CutPrefix(line, "pkg: "); ok {
-			report.Pkg = v
+			curPkg = v
+			pkgs[v] = true
 			continue
 		}
 		if v, ok := strings.CutPrefix(line, "cpu: "); ok {
@@ -109,8 +117,12 @@ func parseBench(r io.Reader, echo bool) (*Report, error) {
 			continue
 		}
 		if res, ok := parseLine(line); ok {
+			res.Pkg = curPkg
 			report.Benchmarks = append(report.Benchmarks, res)
 		}
+	}
+	if len(pkgs) == 1 {
+		report.Pkg = curPkg
 	}
 	return report, sc.Err()
 }

@@ -49,6 +49,56 @@ func TestParseBench(t *testing.T) {
 	if custom.Procs != 1 {
 		t.Errorf("no -N suffix should default to 1 proc, got %d", custom.Procs)
 	}
+	for i, res := range rep.Benchmarks {
+		if res.Pkg != "ixplight" {
+			t.Errorf("benchmark %d pkg = %q, want ixplight", i, res.Pkg)
+		}
+	}
+}
+
+const multiPkgSample = `goos: linux
+goarch: amd64
+pkg: ixplight
+cpu: AMD EPYC 7B13
+BenchmarkTable1_IXPNumbers 	      30	  77466453 ns/op
+PASS
+ok  	ixplight	2.345s
+pkg: ixplight/internal/collector
+BenchmarkCollect/sequential-8 	       8	 146283407 ns/op
+BenchmarkCollect/parallel=8-8 	      40	  27186751 ns/op
+PASS
+ok  	ixplight/internal/collector	6.789s
+pkg: ixplight/internal/lg
+BenchmarkRoutesReceived 	    1200	    868114 ns/op	  184800 B/op	    1671 allocs/op
+PASS
+ok  	ixplight/internal/lg	1.234s
+`
+
+func TestParseBenchMultiPackage(t *testing.T) {
+	rep, err := parseBench(strings.NewReader(multiPkgSample), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pkg != "" {
+		t.Errorf("top-level pkg = %q, want empty for a multi-package run", rep.Pkg)
+	}
+	if len(rep.Benchmarks) != 4 {
+		t.Fatalf("got %d benchmarks, want 4", len(rep.Benchmarks))
+	}
+	wantPkgs := []string{
+		"ixplight",
+		"ixplight/internal/collector",
+		"ixplight/internal/collector",
+		"ixplight/internal/lg",
+	}
+	for i, res := range rep.Benchmarks {
+		if res.Pkg != wantPkgs[i] {
+			t.Errorf("benchmark %d (%s) pkg = %q, want %q", i, res.Name, res.Pkg, wantPkgs[i])
+		}
+	}
+	if seq := rep.Benchmarks[1]; seq.Name != "Collect/sequential" || seq.Procs != 8 {
+		t.Errorf("collect sequential: %+v", seq)
+	}
 }
 
 func TestParseLineRejects(t *testing.T) {

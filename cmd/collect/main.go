@@ -7,7 +7,7 @@
 //
 //	collect -url http://localhost:8080 [-date 2021-10-04] [-out ./data]
 //	        [-codec json|json.gz|gob|gob.gz|mrt] [-interval 100ms] [-retries 5]
-//	        [-partial] [-resume] [-checkpoint path]
+//	        [-partial] [-resume] [-checkpoint path] [-neighbor-parallel 1]
 //	        [-neighbor-retries 1] [-error-budget 0] [-request-timeout 30s]
 package main
 
@@ -15,6 +15,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"path/filepath"
@@ -39,6 +40,7 @@ func main() {
 	checkpoint := flag.String("checkpoint", "", "checkpoint file for crawl progress (default <out>/checkpoint-<date>.json)")
 	neighborRetries := flag.Int("neighbor-retries", 1, "extra crawl attempts per failing neighbor")
 	errorBudget := flag.Int("error-budget", 0, "consecutive neighbor failures before abandoning the LG (0 = unlimited)")
+	neighborParallel := flag.Int("neighbor-parallel", 1, "concurrent per-neighbor route crawls (1 = sequential; snapshots are identical either way)")
 	flag.Parse()
 
 	asMRT := *codecName == "mrt"
@@ -55,6 +57,7 @@ func main() {
 		MaxRetries:     *retries,
 		RetryBackoff:   100 * time.Millisecond,
 		RequestTimeout: *reqTimeout,
+		MaxInFlight:    *neighborParallel,
 	})
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
@@ -64,9 +67,10 @@ func main() {
 		ckptPath = filepath.Join(*out, fmt.Sprintf("checkpoint-%s.json", *date))
 	}
 	opts := collector.CollectOptions{
-		Partial:         *partial,
-		NeighborRetries: *neighborRetries,
-		ErrorBudget:     *errorBudget,
+		Partial:             *partial,
+		NeighborRetries:     *neighborRetries,
+		ErrorBudget:         *errorBudget,
+		NeighborParallelism: *neighborParallel,
 	}
 	if *partial || *resume {
 		opts.CheckpointPath = ckptPath
@@ -110,18 +114,13 @@ func main() {
 }
 
 // saveMRT writes the snapshot as a RouteViews-style TABLE_DUMP_V2
-// archive.
+// archive, atomically (temp file + rename) like every other snapshot
+// format, so a crash mid-write cannot leave a truncated archive.
 func saveMRT(dir string, snap *collector.Snapshot) (string, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return "", err
-	}
 	path := filepath.Join(dir, fmt.Sprintf("%s-%s.mrt", snap.IXP, snap.Date))
-	f, err := os.Create(path)
-	if err != nil {
-		return "", err
-	}
-	defer f.Close()
-	if err := mrt.WriteRIB(f, snap); err != nil {
+	if err := collector.AtomicWrite(path, func(w io.Writer) error {
+		return mrt.WriteRIB(w, snap)
+	}); err != nil {
 		return "", err
 	}
 	return path, nil

@@ -1,0 +1,148 @@
+// Benchmarks live in an external test package so they can build
+// realistic workloads with ixpgen (which itself imports collector).
+package collector_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"ixplight/internal/bgp"
+	"ixplight/internal/collector"
+	"ixplight/internal/dictionary"
+	"ixplight/internal/ixpgen"
+	"ixplight/internal/lg"
+	"ixplight/internal/netutil"
+	"ixplight/internal/rs"
+)
+
+// benchFixture builds a route server with nPeers members announcing
+// routesPer routes each — sized like a mid-size IXP LG so the
+// collection benchmarks exercise real pagination and decode work.
+func benchFixture(b *testing.B, nPeers, routesPer int) *rs.Server {
+	b.Helper()
+	server, err := rs.New(rs.Config{Scheme: dictionary.ProfileByName("DE-CIX")})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < nPeers; i++ {
+		asn := uint32(100 + i)
+		if err := server.AddPeer(rs.Peer{
+			ASN: asn, Name: fmt.Sprintf("peer-%d", asn),
+			AddrV4: netutil.PeerAddrV4(i + 1), IPv4: true,
+		}); err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < routesPer; j++ {
+			r := bgp.Route{
+				Prefix:  netutil.SyntheticV4Prefix(i*routesPer + j),
+				NextHop: netutil.PeerAddrV4(i + 1),
+				ASPath:  bgp.ASPath{asn},
+			}
+			if reason, err := server.Announce(asn, r); err != nil || reason != rs.FilterNone {
+				b.Fatalf("announce AS%d #%d: %v %v", asn, j, reason, err)
+			}
+		}
+	}
+	return server
+}
+
+// BenchmarkCollect measures one full LG crawl against a simulated
+// 120-neighbor looking glass with 1ms of per-request latency (the
+// network round trip that dominates a real crawl). The sequential and
+// parallel variants collect byte-identical snapshots; the parallel
+// ones overlap the latency across the neighbor worker pool. The flaky
+// variants add a 5% transient error rate to show the fan-out keeps
+// its advantage when retries are in play.
+func BenchmarkCollect(b *testing.B) {
+	const (
+		nPeers    = 120
+		routesPer = 4
+		latency   = time.Millisecond
+	)
+	server := benchFixture(b, nPeers, routesPer)
+	cases := []struct {
+		name    string
+		workers int
+		flaky   bool
+	}{
+		{"sequential", 1, false},
+		{"parallel=4", 4, false},
+		{"parallel=8", 8, false},
+		{"flaky/sequential", 1, true},
+		{"flaky/parallel=8", 8, true},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			fopts := lg.FlakyOptions{Latency: latency}
+			if tc.flaky {
+				fopts.ErrorRate = 0.05
+				fopts.Seed = 1
+			}
+			ts := httptest.NewServer(lg.Flaky(lg.NewServer(server), fopts))
+			defer ts.Close()
+			// Default transport keeps only 2 idle conns per host; a worker
+			// pool would measure connection churn instead of the crawl.
+			transport := &http.Transport{MaxIdleConns: 64, MaxIdleConnsPerHost: 64}
+			defer transport.CloseIdleConnections()
+			hc := &http.Client{Transport: transport}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				client := lg.NewClient(ts.URL, lg.ClientOptions{
+					MaxInFlight:  tc.workers,
+					MaxRetries:   8,
+					RetryBackoff: time.Millisecond,
+					MaxBackoff:   2 * time.Millisecond,
+					HTTPClient:   hc,
+				})
+				snap, err := collector.CollectWithOptions(context.Background(), client, "2021-10-04", collector.CollectOptions{
+					NeighborParallelism: tc.workers,
+					NeighborRetries:     1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(snap.Routes) != nPeers*routesPer {
+					b.Fatalf("routes = %d, want %d", len(snap.Routes), nPeers*routesPer)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSnapshotCodec measures serialising one paper-shaped
+// snapshot (AMS-IX profile at bench scale) under each of the four
+// codecs. The gzip variants exercise the pooled gzip writers; the
+// reported bytes metric is the encoded size, so the speed/size
+// trade-off of the codec ablation is visible in one run.
+func BenchmarkSnapshotCodec(b *testing.B) {
+	p := ixpgen.ProfileByName("AMS-IX")
+	if p == nil {
+		b.Fatal("AMS-IX profile missing")
+	}
+	w, err := ixpgen.Generate(*p, ixpgen.Options{Seed: 42, Scale: 0.05})
+	if err != nil {
+		b.Fatal(err)
+	}
+	snap := w.Snapshot("2021-10-04")
+	for _, codec := range []collector.Codec{
+		collector.CodecJSON, collector.CodecJSONGzip,
+		collector.CodecGob, collector.CodecGobGzip,
+	} {
+		b.Run(codec.String(), func(b *testing.B) {
+			var buf bytes.Buffer
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				buf.Reset()
+				if err := collector.WriteSnapshot(&buf, snap, codec); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(buf.Len()), "bytes")
+		})
+	}
+}

@@ -3,8 +3,8 @@ package collector
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
-	"path/filepath"
 
 	"ixplight/internal/bgp"
 )
@@ -45,24 +45,9 @@ func (c *Checkpoint) Matches(ixp, date string) bool {
 // Save writes the checkpoint atomically (temp file + rename), so a
 // crash mid-write cannot corrupt the resume state.
 func (c *Checkpoint) Save(path string) error {
-	dir := filepath.Dir(path)
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return err
-	}
-	tmp, err := os.CreateTemp(dir, ".checkpoint-*")
-	if err != nil {
-		return err
-	}
-	if err := json.NewEncoder(tmp).Encode(c); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	return os.Rename(tmp.Name(), path)
+	return AtomicWrite(path, func(w io.Writer) error {
+		return json.NewEncoder(w).Encode(c)
+	})
 }
 
 // LoadCheckpoint reads a checkpoint written by Save. A missing file

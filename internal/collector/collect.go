@@ -35,6 +35,18 @@ type CollectOptions struct {
 	// when set. The file is removed once a snapshot completes with no
 	// member errors.
 	CheckpointPath string
+	// NeighborParallelism fans the per-neighbor route crawls across
+	// this many workers (0 or 1 = the sequential crawl). The snapshot
+	// is byte-identical to a sequential crawl for every worker count:
+	// routes are merged in neighbor order and the error budget is
+	// replayed in neighbor order, so a breaker that would have tripped
+	// sequentially trips at the same neighbor here — successes a
+	// sequential crawl would never have attempted are demoted to
+	// skipped (their routes still reach the checkpoint, so nothing
+	// fetched is wasted on resume). Effective parallelism is capped by
+	// the client's MaxInFlight and checkpoint saves are serialized
+	// through a single writer.
+	NeighborParallelism int
 }
 
 // Collect crawls a looking glass into one snapshot, following the §3
@@ -73,33 +85,71 @@ func CollectWithOptions(ctx context.Context, client *lg.Client, date string, opt
 
 	snap := &Snapshot{IXP: status.IXP, Date: date}
 	snap.Routes = append(snap.Routes, prog.Routes...)
-	consecutive := 0
-	tripped := false
+	// The crawl plan: every neighbor that actually needs a route
+	// listing, in neighbor order. Checkpointed neighbors never reach
+	// the plan, so a resumed crawl issues zero requests for them no
+	// matter how many workers run.
+	var crawl []uint32
 	for _, n := range neighbors {
 		snap.Members = append(snap.Members, Member{
 			ASN: n.ASN, Name: n.Description, IPv4: n.IPv4, IPv6: n.IPv6,
 		})
 		snap.FilteredCount += n.RoutesFiltered
-		if done[n.ASN] {
+		if done[n.ASN] || n.RoutesAccepted == 0 {
 			continue
 		}
-		if n.RoutesAccepted == 0 {
-			continue
-		}
+		crawl = append(crawl, n.ASN)
+	}
+
+	saver := &checkpointWriter{prog: prog, path: opts.CheckpointPath}
+	workers := opts.NeighborParallelism
+	if workers < 1 {
+		workers = 1
+	}
+	if m := client.MaxInFlight(); workers > m {
+		workers = m
+	}
+	if workers > len(crawl) {
+		workers = len(crawl)
+	}
+	var outcomes []neighborOutcome
+	if workers <= 1 {
+		outcomes, err = crawlSequential(ctx, client, crawl, opts, saver)
+	} else {
+		outcomes, err = crawlParallel(ctx, client, crawl, opts, saver, workers)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	// Replay the outcomes in neighbor order. Both crawl strategies
+	// converge here, so the budget arithmetic — and therefore the
+	// snapshot — is identical for every worker count.
+	consecutive, tripped := 0, false
+	for i, asn := range crawl {
+		o := outcomes[i]
 		if tripped {
 			snap.MemberErrors = append(snap.MemberErrors, MemberError{
-				ASN: n.ASN, Stage: StageSkipped,
+				ASN: asn, Stage: StageSkipped,
 				Err: fmt.Sprintf("error budget of %d consecutive failures exhausted", opts.ErrorBudget),
 			})
 			continue
 		}
-		routes, attempts, err := crawlNeighbor(ctx, client, n.ASN, opts.NeighborRetries)
-		if err != nil {
+		if !o.attempted {
+			// Only a cancelled crawl leaves a neighbor unattempted
+			// without tripping the budget first.
+			cause := ctx.Err()
+			if cause == nil {
+				cause = context.Canceled
+			}
+			return nil, fmt.Errorf("collector: routes of AS%d: %w", asn, cause)
+		}
+		if o.err != nil {
 			if !opts.Partial || ctx.Err() != nil {
-				return nil, fmt.Errorf("collector: routes of AS%d: %w", n.ASN, err)
+				return nil, fmt.Errorf("collector: routes of AS%d: %w", asn, o.err)
 			}
 			snap.MemberErrors = append(snap.MemberErrors, MemberError{
-				ASN: n.ASN, Stage: StageRoutes, Err: err.Error(), Attempts: attempts,
+				ASN: asn, Stage: StageRoutes, Err: o.err.Error(), Attempts: o.attempts,
 			})
 			consecutive++
 			if opts.ErrorBudget > 0 && consecutive >= opts.ErrorBudget {
@@ -108,13 +158,7 @@ func CollectWithOptions(ctx context.Context, client *lg.Client, date string, opt
 			continue
 		}
 		consecutive = 0
-		snap.Routes = append(snap.Routes, routes...)
-		prog.MarkDone(n.ASN, routes)
-		if opts.CheckpointPath != "" {
-			if err := prog.Save(opts.CheckpointPath); err != nil {
-				return nil, fmt.Errorf("collector: checkpoint: %w", err)
-			}
-		}
+		snap.Routes = append(snap.Routes, o.routes...)
 	}
 	snap.Partial = len(snap.MemberErrors) > 0
 	snap.Normalize()

@@ -56,14 +56,43 @@ func (r Result) Summary() string {
 	}
 }
 
+// MultiOptions tunes a multi-target collection run. Parallelism
+// composes across three layers: TargetParallelism LGs are crawled at
+// once, each target's CollectOptions.NeighborParallelism workers fan
+// out inside its crawl, and GlobalInFlight caps the HTTP requests in
+// flight across all of them under one budget.
+type MultiOptions struct {
+	// TargetParallelism is how many targets are crawled at once
+	// (0 = all at once).
+	TargetParallelism int
+	// GlobalInFlight caps concurrent LG requests across every target
+	// (0 = no global budget). Workers past the cap block until a
+	// request slot frees up; per-target politeness (MinInterval,
+	// MaxInFlight) still applies underneath.
+	GlobalInFlight int
+}
+
 // CollectAll crawls every target concurrently (at most parallel at a
 // time; 0 means all at once) and returns one result per target, in
 // target order. A failing LG does not abort the others — the paper's
 // collection had to tolerate individual LG outages — and targets in
 // degraded mode contribute partial snapshots instead of failures.
 func CollectAll(ctx context.Context, targets []Target, date string, parallel int) []Result {
+	return CollectAllWithOptions(ctx, targets, date, MultiOptions{TargetParallelism: parallel})
+}
+
+// CollectAllWithOptions is CollectAll with the full multi-target
+// parallelism controls. A target whose client options leave
+// MaxInFlight unset inherits its own NeighborParallelism, so setting
+// one knob per target is enough to go parallel end to end.
+func CollectAllWithOptions(ctx context.Context, targets []Target, date string, mopts MultiOptions) []Result {
+	parallel := mopts.TargetParallelism
 	if parallel <= 0 || parallel > len(targets) {
 		parallel = len(targets)
+	}
+	var budget *lg.RequestBudget
+	if mopts.GlobalInFlight > 0 {
+		budget = lg.NewRequestBudget(mopts.GlobalInFlight)
 	}
 	results := make([]Result, len(targets))
 	sem := make(chan struct{}, parallel)
@@ -80,7 +109,14 @@ func CollectAll(ctx context.Context, targets []Target, date string, parallel int
 				return
 			}
 			start := time.Now()
-			client := lg.NewClient(tgt.URL, tgt.Options)
+			copts := tgt.Options
+			if copts.MaxInFlight == 0 && tgt.Collect.NeighborParallelism > 1 {
+				copts.MaxInFlight = tgt.Collect.NeighborParallelism
+			}
+			if copts.Budget == nil {
+				copts.Budget = budget
+			}
+			client := lg.NewClient(tgt.URL, copts)
 			snap, err := CollectWithOptions(ctx, client, date, tgt.Collect)
 			results[i] = Result{
 				Target:   tgt,

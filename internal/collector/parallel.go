@@ -1,0 +1,148 @@
+package collector
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"ixplight/internal/bgp"
+	"ixplight/internal/lg"
+)
+
+// neighborOutcome is one crawl-plan entry's result. attempted is false
+// when the crawl stopped (budget trip, strict-mode failure or
+// cancellation) before the neighbor's first request went out — the
+// replay in CollectWithOptions decides what that means.
+type neighborOutcome struct {
+	attempted bool
+	routes    []bgp.Route
+	attempts  int
+	err       error
+}
+
+// checkpointWriter serializes checkpoint updates: workers of a
+// parallel crawl all mark progress through one writer, so the
+// checkpoint file is written by exactly one goroutine at a time and
+// every save sees a consistent Done/Routes pair.
+type checkpointWriter struct {
+	mu   sync.Mutex
+	prog *Checkpoint
+	path string
+}
+
+// markDone records one completed neighbor and persists the checkpoint
+// when a path is configured.
+func (w *checkpointWriter) markDone(asn uint32, routes []bgp.Route) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.prog.MarkDone(asn, routes)
+	if w.path == "" {
+		return nil
+	}
+	return w.prog.Save(w.path)
+}
+
+// crawlSequential is the single-connection crawl: one neighbor at a
+// time, in neighbor order, stopping early when strict mode hits a
+// failure or the error budget trips — so a dead LG sees exactly as
+// many requests as it did before the crawl went parallel.
+func crawlSequential(ctx context.Context, client *lg.Client, crawl []uint32, opts CollectOptions, saver *checkpointWriter) ([]neighborOutcome, error) {
+	outcomes := make([]neighborOutcome, len(crawl))
+	consecutive := 0
+	for i, asn := range crawl {
+		routes, attempts, err := crawlNeighbor(ctx, client, asn, opts.NeighborRetries)
+		outcomes[i] = neighborOutcome{attempted: true, routes: routes, attempts: attempts, err: err}
+		if err != nil {
+			if !opts.Partial || ctx.Err() != nil {
+				// The replay surfaces this outcome as the crawl error.
+				return outcomes, nil
+			}
+			consecutive++
+			if opts.ErrorBudget > 0 && consecutive >= opts.ErrorBudget {
+				return outcomes, nil
+			}
+			continue
+		}
+		consecutive = 0
+		if serr := saver.markDone(asn, routes); serr != nil {
+			return nil, fmt.Errorf("collector: checkpoint: %w", serr)
+		}
+	}
+	return outcomes, nil
+}
+
+// crawlParallel fans the crawl plan across a worker pool. Workers
+// claim neighbors strictly in plan order, so at any moment the
+// attempted set is a prefix of the plan plus at most workers-1
+// in-flight entries. A frontier walk over the contiguous completed
+// prefix re-runs the sequential budget arithmetic as results land;
+// once it proves the sequential crawl would have stopped (budget
+// tripped, strict-mode failure, checkpoint save error), no new
+// neighbors are claimed — in-flight ones drain and the replay demotes
+// any overshoot to skipped.
+func crawlParallel(ctx context.Context, client *lg.Client, crawl []uint32, opts CollectOptions, saver *checkpointWriter, workers int) ([]neighborOutcome, error) {
+	outcomes := make([]neighborOutcome, len(crawl))
+	var (
+		mu          sync.Mutex
+		next        int
+		frontier    int
+		consecutive int
+		stopped     bool
+		saveErr     error
+		completed   = make([]bool, len(crawl))
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if stopped || next >= len(crawl) || ctx.Err() != nil {
+					mu.Unlock()
+					return
+				}
+				i := next
+				next++
+				mu.Unlock()
+
+				asn := crawl[i]
+				routes, attempts, err := crawlNeighbor(ctx, client, asn, opts.NeighborRetries)
+				var serr error
+				if err == nil {
+					serr = saver.markDone(asn, routes)
+				}
+
+				mu.Lock()
+				outcomes[i] = neighborOutcome{attempted: true, routes: routes, attempts: attempts, err: err}
+				completed[i] = true
+				if serr != nil {
+					if saveErr == nil {
+						saveErr = serr
+					}
+					stopped = true
+				}
+				if err != nil && (!opts.Partial || ctx.Err() != nil) {
+					stopped = true
+				}
+				for frontier < len(crawl) && completed[frontier] {
+					if outcomes[frontier].err != nil {
+						consecutive++
+						if opts.ErrorBudget > 0 && consecutive >= opts.ErrorBudget {
+							stopped = true
+						}
+					} else {
+						consecutive = 0
+					}
+					frontier++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if saveErr != nil {
+		return nil, fmt.Errorf("collector: checkpoint: %w", saveErr)
+	}
+	return outcomes, nil
+}

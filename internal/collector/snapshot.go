@@ -13,6 +13,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"sync"
 	"time"
 
 	"ixplight/internal/bgp"
@@ -191,27 +192,44 @@ func (c Codec) Ext() string {
 	}
 }
 
+// gzipWriters pools gzip writers across snapshot writes: a gzip
+// writer carries ~800kB of deflate state, and the daily-snapshot
+// write path would otherwise reallocate it once per snapshot.
+var gzipWriters = sync.Pool{
+	New: func() any { return gzip.NewWriter(io.Discard) },
+}
+
+// withPooledGzip runs encode against a pooled gzip writer targeting w,
+// closing (flushing) it afterwards. The writer is detached from w
+// before being pooled so the pool never pins caller buffers.
+func withPooledGzip(w io.Writer, encode func(io.Writer) error) error {
+	zw := gzipWriters.Get().(*gzip.Writer)
+	zw.Reset(w)
+	err := encode(zw)
+	cerr := zw.Close()
+	zw.Reset(io.Discard)
+	gzipWriters.Put(zw)
+	if err != nil {
+		return err
+	}
+	return cerr
+}
+
 // WriteSnapshot serialises s to w using the codec.
 func WriteSnapshot(w io.Writer, s *Snapshot, codec Codec) error {
 	switch codec {
 	case CodecJSON:
 		return json.NewEncoder(w).Encode(s)
 	case CodecJSONGzip:
-		zw := gzip.NewWriter(w)
-		if err := json.NewEncoder(zw).Encode(s); err != nil {
-			zw.Close()
-			return err
-		}
-		return zw.Close()
+		return withPooledGzip(w, func(zw io.Writer) error {
+			return json.NewEncoder(zw).Encode(s)
+		})
 	case CodecGob:
 		return gob.NewEncoder(w).Encode(s)
 	case CodecGobGzip:
-		zw := gzip.NewWriter(w)
-		if err := gob.NewEncoder(zw).Encode(s); err != nil {
-			zw.Close()
-			return err
-		}
-		return zw.Close()
+		return withPooledGzip(w, func(zw io.Writer) error {
+			return gob.NewEncoder(zw).Encode(s)
+		})
 	default:
 		return fmt.Errorf("collector: unknown codec %v", codec)
 	}
@@ -253,19 +271,44 @@ func ReadSnapshot(r io.Reader, codec Codec) (*Snapshot, error) {
 	return &s, nil
 }
 
-// SaveSnapshot writes s into dir as <ixp>-<date><ext>, creating the
-// directory if needed, and returns the file path.
-func SaveSnapshot(dir string, s *Snapshot, codec Codec) (string, error) {
+// AtomicWrite writes a file through write via a temp file in the same
+// directory followed by a rename — the Checkpoint.Save discipline — so
+// a crash mid-write never leaves a truncated or corrupt file at path.
+// Missing parent directories are created.
+func AtomicWrite(path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return "", err
+		return err
 	}
-	path := filepath.Join(dir, fmt.Sprintf("%s-%s%s", sanitizeName(s.IXP), s.Date, codec.Ext()))
-	f, err := os.Create(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+"-*")
 	if err != nil {
-		return "", err
+		return err
 	}
-	defer f.Close()
-	if err := WriteSnapshot(f, s, codec); err != nil {
+	if err := write(tmp); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// SaveSnapshot writes s into dir as <ixp>-<date><ext>, creating the
+// directory if needed, and returns the file path. The write is atomic
+// (temp file + rename): an interrupted save never leaves a truncated
+// snapshot where the next collection run would trust it.
+func SaveSnapshot(dir string, s *Snapshot, codec Codec) (string, error) {
+	path := filepath.Join(dir, fmt.Sprintf("%s-%s%s", sanitizeName(s.IXP), s.Date, codec.Ext()))
+	if err := AtomicWrite(path, func(w io.Writer) error {
+		return WriteSnapshot(w, s, codec)
+	}); err != nil {
 		return "", err
 	}
 	return path, nil

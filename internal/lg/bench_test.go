@@ -1,0 +1,76 @@
+package lg
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// BenchmarkRoutesReceived measures one paged route listing through
+// the client — request, retry bookkeeping, JSON decode — against an
+// in-process LG, so the client's own overhead per crawled neighbor is
+// visible without network latency.
+func BenchmarkRoutesReceived(b *testing.B) {
+	_, ts := fixture(b, 50)
+	c := NewClient(ts.URL, ClientOptions{PageSize: 25})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		routes, err := c.RoutesReceived(context.Background(), 100)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(routes) != 50 {
+			b.Fatalf("routes = %d, want 50", len(routes))
+		}
+	}
+}
+
+// BenchmarkThrottleContended measures the shared MinInterval pacer
+// under heavy goroutine contention — the hot path every request of a
+// parallel crawl serialises through.
+func BenchmarkThrottleContended(b *testing.B) {
+	c := NewClient("http://unused", ClientOptions{
+		MinInterval: time.Nanosecond, MaxInFlight: 64,
+	})
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if err := c.throttle(context.Background()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkClientConcurrency compares pushing n concurrent requests
+// through one client at MaxInFlight=1 vs n — the per-client cost of
+// the in-flight semaphore and shared pacer as parallelism grows.
+func BenchmarkClientConcurrency(b *testing.B) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte(`{"ixp":"TEST","version":"1.0","rs_asn":1}`))
+	}))
+	defer ts.Close()
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("inflight=%d", workers), func(b *testing.B) {
+			c := NewClient(ts.URL, ClientOptions{MaxInFlight: workers})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				for j := 0; j < workers; j++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						if _, err := c.Status(context.Background()); err != nil {
+							b.Error(err)
+						}
+					}()
+				}
+				wg.Wait()
+			}
+		})
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"math/rand"
 	"net/http"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -38,26 +39,73 @@ type ClientOptions struct {
 	// honoured (default 30s), so a broken LG cannot park the crawl
 	// indefinitely.
 	MaxRetryAfter time.Duration
+	// MaxInFlight bounds how many calls may be in flight on this
+	// client at once (default 1: the §3 single-connection politeness).
+	// Raising it lets a neighbor-crawl worker pool share one client;
+	// the MinInterval pacer still spaces all requests globally, so a
+	// parallel crawl is no less polite per-LG, just not idle between
+	// responses. Calls beyond the bound fail with ErrConcurrentUse.
+	MaxInFlight int
+	// Budget, when set, caps in-flight requests across every client
+	// sharing it — the global request budget of a multi-target crawl.
+	// Unlike the per-client MaxInFlight guard it blocks (politeness
+	// backpressure, not a misuse signal).
+	Budget *RequestBudget
 	// HTTPClient overrides the transport (nil = http.DefaultClient).
 	HTTPClient *http.Client
 }
 
-// ErrConcurrentUse is returned when a Client is entered from two
-// goroutines at once, which would break the §3 single-connection
-// politeness contract. Create one Client per goroutine instead.
-var ErrConcurrentUse = errors.New("lg: concurrent use of Client (one Client per goroutine)")
+// ErrConcurrentUse is returned when a Client is entered by more
+// concurrent calls than ClientOptions.MaxInFlight allows (more than
+// one, by default), which would break the §3 politeness contract.
+// Raise MaxInFlight — or create one Client per goroutine — instead.
+var ErrConcurrentUse = errors.New("lg: concurrent use of Client beyond MaxInFlight")
 
-// Client crawls one looking glass. It is not safe for concurrent use —
-// deliberately: the collection keeps a single connection to the LG.
-// The contract is enforced: a method called while another is in
-// flight fails with ErrConcurrentUse.
+// RequestBudget is a counting semaphore shared by several clients to
+// cap the total number of HTTP requests in flight at once — the one
+// global budget a multi-IXP collection run composes its target-level
+// and neighbor-level parallelism under.
+type RequestBudget struct {
+	slots chan struct{}
+}
+
+// NewRequestBudget builds a budget of n concurrent requests (n < 1 is
+// clamped to 1).
+func NewRequestBudget(n int) *RequestBudget {
+	if n < 1 {
+		n = 1
+	}
+	return &RequestBudget{slots: make(chan struct{}, n)}
+}
+
+func (b *RequestBudget) acquire(ctx context.Context) error {
+	select {
+	case b.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (b *RequestBudget) release() { <-b.slots }
+
+// Client crawls one looking glass. It is safe for concurrent use up
+// to ClientOptions.MaxInFlight simultaneous calls (1 by default — the
+// collection keeps a single connection per LG unless told otherwise).
+// The contract is enforced: a call that would exceed the bound fails
+// with ErrConcurrentUse rather than silently queueing.
 type Client struct {
 	base     string
 	opts     ClientOptions
 	http     *http.Client
-	lastReq  time.Time
 	requests atomic.Int64
-	busy     atomic.Int32
+	// sem holds one token per in-flight call (capacity MaxInFlight).
+	sem chan struct{}
+	// paceMu guards nextSend, the shared MinInterval pacer: concurrent
+	// requests reserve evenly-spaced send slots so the per-LG rate
+	// limit holds for any MaxInFlight.
+	paceMu   sync.Mutex
+	nextSend time.Time
 }
 
 // NewClient builds a client for the LG at base (e.g. the httptest
@@ -79,22 +127,32 @@ func NewClient(base string, opts ClientOptions) *Client {
 	if opts.MaxRetryAfter <= 0 {
 		opts.MaxRetryAfter = 30 * time.Second
 	}
-	return &Client{base: base, opts: opts, http: hc}
+	if opts.MaxInFlight < 1 {
+		opts.MaxInFlight = 1
+	}
+	return &Client{base: base, opts: opts, http: hc, sem: make(chan struct{}, opts.MaxInFlight)}
 }
 
 // Requests reports the total requests issued, including retries.
 func (c *Client) Requests() int { return int(c.requests.Load()) }
 
-// acquire marks the client busy; release undoes it. The pair guards
-// the single-goroutine contract without serialising misuse silently.
+// MaxInFlight reports the client's in-flight call bound, so callers
+// (the collector's neighbor pool) can size their worker count to it.
+func (c *Client) MaxInFlight() int { return c.opts.MaxInFlight }
+
+// acquire takes one in-flight slot; release returns it. The pair
+// bounds concurrency without serialising misuse silently: a call that
+// finds every slot taken fails fast instead of queueing.
 func (c *Client) acquire() error {
-	if !c.busy.CompareAndSwap(0, 1) {
+	select {
+	case c.sem <- struct{}{}:
+		return nil
+	default:
 		return ErrConcurrentUse
 	}
-	return nil
 }
 
-func (c *Client) release() { c.busy.Store(0) }
+func (c *Client) release() { <-c.sem }
 
 // get fetches one endpoint into out, honouring the rate limit and
 // retrying transient failures (5xx, 429, transport errors, truncated
@@ -170,20 +228,30 @@ func parseRetryAfter(v string) time.Duration {
 	return 0
 }
 
-// throttle enforces MinInterval between requests.
+// throttle enforces MinInterval between requests. It is a shared
+// pacer: under paceMu each caller reserves the next free send slot
+// (previous slot + MinInterval), then sleeps until its slot outside
+// the lock — so concurrent requests stay evenly spaced instead of
+// bursting, and the old unsynchronized lastReq read is gone.
 func (c *Client) throttle(ctx context.Context) error {
 	if c.opts.MinInterval <= 0 {
 		return nil
 	}
-	wait := c.opts.MinInterval - time.Since(c.lastReq)
-	if wait > 0 {
+	c.paceMu.Lock()
+	now := time.Now()
+	slot := c.nextSend
+	if slot.Before(now) {
+		slot = now
+	}
+	c.nextSend = slot.Add(c.opts.MinInterval)
+	c.paceMu.Unlock()
+	if wait := time.Until(slot); wait > 0 {
 		select {
 		case <-time.After(wait):
 		case <-ctx.Done():
 			return ctx.Err()
 		}
 	}
-	c.lastReq = time.Now()
 	return nil
 }
 
@@ -206,6 +274,12 @@ func (c *Client) once(ctx context.Context, path string, out any) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
 	if err != nil {
 		return err
+	}
+	if b := c.opts.Budget; b != nil {
+		if err := b.acquire(ctx); err != nil {
+			return err
+		}
+		defer b.release()
 	}
 	c.requests.Add(1)
 	resp, err := c.http.Do(req)
@@ -296,6 +370,12 @@ func (c *Client) ConfigRaw(ctx context.Context) (string, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/api/v1/routeservers/rs1/config/raw", nil)
 	if err != nil {
 		return "", err
+	}
+	if b := c.opts.Budget; b != nil {
+		if err := b.acquire(ctx); err != nil {
+			return "", err
+		}
+		defer b.release()
 	}
 	c.requests.Add(1)
 	resp, err := c.http.Do(req)

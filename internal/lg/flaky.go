@@ -44,6 +44,10 @@ type FlakyOptions struct {
 	// NeighborOutage lists neighbor ASNs whose routes endpoints always
 	// answer 500 — a permanently broken per-peer view.
 	NeighborOutage []uint32
+	// NeighborLatency delays the routes endpoints of specific
+	// neighbors (on top of Latency), so tests can force parallel
+	// crawls to complete out of neighbor order.
+	NeighborLatency map[uint32]time.Duration
 	// Seed makes the injected failures reproducible.
 	Seed int64
 }
@@ -96,16 +100,29 @@ func Flaky(next http.Handler, opts FlakyOptions) http.Handler {
 			<-r.Context().Done()
 			return
 		}
-		if opts.RateLimitEvery > 0 && n%opts.RateLimitEvery == 0 {
-			w.Header().Set("Retry-After", retryAfterSeconds(opts.RetryAfter))
-			http.Error(w, "rate limited", http.StatusTooManyRequests)
-			return
+		// Per-neighbor failure modes come before the stochastic,
+		// counter-driven ones: a permanently broken per-peer view answers
+		// the same way no matter how requests interleave, so a degraded
+		// crawl's recorded errors stay deterministic at any parallelism.
+		for asn, d := range opts.NeighborLatency {
+			if d > 0 && strings.Contains(r.URL.Path, fmt.Sprintf("/neighbors/%d/routes", asn)) {
+				select {
+				case <-time.After(d):
+				case <-r.Context().Done():
+					return
+				}
+			}
 		}
 		for _, asn := range opts.NeighborOutage {
 			if strings.Contains(r.URL.Path, fmt.Sprintf("/neighbors/%d/routes", asn)) {
 				http.Error(w, "backend unavailable", http.StatusInternalServerError)
 				return
 			}
+		}
+		if opts.RateLimitEvery > 0 && n%opts.RateLimitEvery == 0 {
+			w.Header().Set("Retry-After", retryAfterSeconds(opts.RetryAfter))
+			http.Error(w, "rate limited", http.StatusTooManyRequests)
+			return
 		}
 		if roll < opts.ErrorRate {
 			http.Error(w, "internal error", http.StatusInternalServerError)

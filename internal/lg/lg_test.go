@@ -16,8 +16,9 @@ import (
 )
 
 // fixture spins up a route server with two peers and nRoutes routes
-// announced by AS100, wrapped in an httptest LG.
-func fixture(t *testing.T, nRoutes int) (*rs.Server, *httptest.Server) {
+// announced by AS100, wrapped in an httptest LG. It takes testing.TB
+// so benchmarks share it.
+func fixture(t testing.TB, nRoutes int) (*rs.Server, *httptest.Server) {
 	t.Helper()
 	server, err := rs.New(rs.Config{
 		Scheme:       dictionary.ProfileByName("DE-CIX"),

@@ -84,7 +84,13 @@ type (
 	LGClient = lg.Client
 	// LGClientOptions tunes the crawler.
 	LGClientOptions = lg.ClientOptions
+	// LGRequestBudget caps in-flight requests across several crawlers.
+	LGRequestBudget = lg.RequestBudget
 )
+
+// NewLGRequestBudget builds a global budget of n concurrent requests
+// to share across clients via LGClientOptions.Budget.
+func NewLGRequestBudget(n int) *LGRequestBudget { return lg.NewRequestBudget(n) }
 
 // NewLGServer wraps a route server with the looking-glass API.
 func NewLGServer(server *RouteServer) *LGServer { return lg.NewServer(server) }
@@ -180,9 +186,19 @@ type MemberError = collector.MemberError
 // CollectCheckpoint persists crawl progress for resumable collections.
 type CollectCheckpoint = collector.Checkpoint
 
+// CollectMultiOptions tunes a multi-target collection run: target
+// parallelism plus the global in-flight request budget.
+type CollectMultiOptions = collector.MultiOptions
+
 // CollectAll crawls several looking glasses concurrently.
 func CollectAll(ctx context.Context, targets []CollectTarget, date string, parallel int) []CollectResult {
 	return collector.CollectAll(ctx, targets, date, parallel)
+}
+
+// CollectAllWithOptions crawls several looking glasses with full
+// control over how target- and neighbor-level parallelism compose.
+func CollectAllWithOptions(ctx context.Context, targets []CollectTarget, date string, opts CollectMultiOptions) []CollectResult {
+	return collector.CollectAllWithOptions(ctx, targets, date, opts)
 }
 
 // WriteMRT dumps a snapshot as an MRT TABLE_DUMP_V2 archive (the
