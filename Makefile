@@ -10,8 +10,12 @@ BENCH_DATE := $(shell date +%Y%m%d)
 
 check: vet build race
 
+# vet runs the stock analyzers plus metriclint, which pins the metric
+# naming contract: every family registered on a telemetry.Registry is
+# a literal matching ^ixplight_[a-z_]+$.
 vet:
 	$(GO) vet ./...
+	$(GO) run ./cmd/metriclint .
 
 build:
 	$(GO) build ./...
@@ -25,9 +29,11 @@ race:
 # bench runs the full benchmark suite once — the paper-experiment
 # benches in the root package plus the collection-path benches in
 # internal/collector (crawl parallelism, snapshot codecs) and
-# internal/lg (client hot paths) — and archives the merged results as
+# internal/lg (client hot paths) and internal/telemetry (instrument
+# overhead, including the disabled-path zero-alloc pin) — and archives
+# the merged results as
 # machine-readable JSON (BENCH_<yyyymmdd>.json), for comparison across
 # commits. The live text output still streams to the terminal.
-BENCH_PKGS := . ./internal/collector ./internal/lg
+BENCH_PKGS := . ./internal/collector ./internal/lg ./internal/telemetry
 bench:
 	$(GO) test -bench=. -benchmem -count=1 $(BENCH_PKGS) | $(GO) run ./cmd/benchjson -out BENCH_$(BENCH_DATE).json -date $(BENCH_DATE)

@@ -9,6 +9,13 @@
 //	        [-codec json|json.gz|gob|gob.gz|mrt] [-interval 100ms] [-retries 5]
 //	        [-partial] [-resume] [-checkpoint path] [-neighbor-parallel 1]
 //	        [-neighbor-retries 1] [-error-budget 0] [-request-timeout 30s]
+//	        [-metrics-addr :9100]
+//
+// Every run records crawl telemetry: an end-of-run summary is logged
+// and the full registry is archived as <out>/telemetry.json next to
+// the snapshot. With -metrics-addr the same registry is additionally
+// served live on /metrics, /debug/vars and /debug/pprof while the
+// crawl runs.
 package main
 
 import (
@@ -17,6 +24,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net/http"
 	"os"
 	"path/filepath"
 	"time"
@@ -24,6 +32,7 @@ import (
 	"ixplight/internal/collector"
 	"ixplight/internal/lg"
 	"ixplight/internal/mrt"
+	"ixplight/internal/telemetry"
 )
 
 func main() {
@@ -41,7 +50,20 @@ func main() {
 	neighborRetries := flag.Int("neighbor-retries", 1, "extra crawl attempts per failing neighbor")
 	errorBudget := flag.Int("error-budget", 0, "consecutive neighbor failures before abandoning the LG (0 = unlimited)")
 	neighborParallel := flag.Int("neighbor-parallel", 1, "concurrent per-neighbor route crawls (1 = sequential; snapshots are identical either way)")
+	metricsAddr := flag.String("metrics-addr", "", "optional telemetry listen address serving /metrics, /debug/vars and /debug/pprof during the crawl")
 	flag.Parse()
+
+	reg := telemetry.New()
+	lgMetrics := lg.NewMetrics(reg)
+	colMetrics := collector.NewMetrics(reg)
+	if *metricsAddr != "" {
+		go func() {
+			log.Printf("telemetry on %s (/metrics, /debug/vars, /debug/pprof)", *metricsAddr)
+			if err := http.ListenAndServe(*metricsAddr, reg.Handler()); err != nil {
+				log.Printf("telemetry listener: %v", err)
+			}
+		}()
+	}
 
 	asMRT := *codecName == "mrt"
 	var codec collector.Codec
@@ -58,6 +80,7 @@ func main() {
 		RetryBackoff:   100 * time.Millisecond,
 		RequestTimeout: *reqTimeout,
 		MaxInFlight:    *neighborParallel,
+		Metrics:        lgMetrics,
 	})
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
@@ -66,11 +89,14 @@ func main() {
 	if ckptPath == "" {
 		ckptPath = filepath.Join(*out, fmt.Sprintf("checkpoint-%s.json", *date))
 	}
+	var stats collector.CrawlStats
 	opts := collector.CollectOptions{
 		Partial:             *partial,
 		NeighborRetries:     *neighborRetries,
 		ErrorBudget:         *errorBudget,
 		NeighborParallelism: *neighborParallel,
+		Metrics:             colMetrics,
+		Stats:               &stats,
 	}
 	if *partial || *resume {
 		opts.CheckpointPath = ckptPath
@@ -90,6 +116,14 @@ func main() {
 
 	start := time.Now()
 	snap, err := collector.CollectWithOptions(ctx, client, *date, opts)
+	// The telemetry archive is written even for failed crawls — a
+	// post-mortem needs the retry and budget counters most when the
+	// snapshot never materialized.
+	telPath := filepath.Join(*out, "telemetry.json")
+	if terr := collector.AtomicWrite(telPath, reg.WriteJSON); terr != nil {
+		log.Printf("telemetry archive: %v", terr)
+		telPath = ""
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -110,7 +144,20 @@ func main() {
 	}
 	log.Printf("collected %s: %d members, %d routes, %d filtered (%d requests, %v) → %s",
 		snap.IXP, len(snap.Members), len(snap.Routes), snap.FilteredCount,
-		client.Requests(), time.Since(start).Round(time.Millisecond), path)
+		client.HTTPRequests(), time.Since(start).Round(time.Millisecond), path)
+	budget := "no budget"
+	if stats.BudgetTripped {
+		budget = "budget tripped"
+	} else if stats.BudgetRemaining >= 0 {
+		budget = fmt.Sprintf("budget %d left", stats.BudgetRemaining)
+	}
+	log.Printf("telemetry: %d calls over %d HTTP requests, %d/%d neighbors ok, %d neighbor retries, slowest AS%d %v, %s",
+		client.Requests(), client.HTTPRequests(),
+		stats.Neighbors-stats.Failed-stats.Skipped, stats.Neighbors,
+		stats.Retries, stats.SlowestASN, stats.Slowest.Round(time.Millisecond), budget)
+	if telPath != "" {
+		log.Printf("telemetry archived → %s", telPath)
+	}
 }
 
 // saveMRT writes the snapshot as a RouteViews-style TABLE_DUMP_V2

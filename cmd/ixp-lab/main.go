@@ -72,7 +72,7 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("collected via LG: %d members, %d routes in %d requests",
-		len(collected.Members), len(collected.Routes), client.Requests())
+		len(collected.Members), len(collected.Routes), client.HTTPRequests())
 
 	// 4. The direct snapshot and the crawled one must agree.
 	direct := w.Snapshot("2021-10-04")

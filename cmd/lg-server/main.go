@@ -4,11 +4,13 @@
 // Usage:
 //
 //	lg-server [-ixp DE-CIX] [-addr :8080] [-scale 0.02] [-seed 42]
-//	          [-flaky 0.0] [-bgp :1790]
+//	          [-flaky 0.0] [-bgp :1790] [-metrics-addr :9100]
 //
 // With -bgp it additionally accepts real BGP sessions on that address:
 // peers that establish a session and announce routes appear in the LG
-// output alongside the synthetic members.
+// output alongside the synthetic members. With -metrics-addr it serves
+// the operational surface on a second listener: /metrics (Prometheus
+// text format), /debug/vars (expvar JSON) and /debug/pprof/.
 package main
 
 import (
@@ -20,13 +22,18 @@ import (
 	"net/http"
 	"net/netip"
 	"os"
+	"strconv"
+	"time"
 
+	"ixplight/internal/analysis"
 	"ixplight/internal/bgp"
 	"ixplight/internal/bgp/session"
+	"ixplight/internal/collector"
 	"ixplight/internal/ixpgen"
 	"ixplight/internal/lg"
 	"ixplight/internal/netutil"
 	"ixplight/internal/rs"
+	"ixplight/internal/telemetry"
 )
 
 func main() {
@@ -36,6 +43,7 @@ func main() {
 	seed := flag.Int64("seed", 42, "generation seed")
 	flaky := flag.Float64("flaky", 0, "probability of injected 500 responses")
 	bgpAddr := flag.String("bgp", "", "optional BGP listen address (e.g. :1790)")
+	metricsAddr := flag.String("metrics-addr", "", "optional telemetry listen address serving /metrics, /debug/vars and /debug/pprof (e.g. :9100)")
 	flag.Parse()
 
 	profile := ixpgen.ProfileByName(*ixp)
@@ -69,11 +77,58 @@ func main() {
 	if *flaky > 0 {
 		handler = lg.Flaky(handler, lg.FlakyOptions{ErrorRate: *flaky, Seed: *seed})
 	}
+	if *metricsAddr != "" {
+		reg := telemetry.New()
+		// Register the whole pipeline's metric catalog, not just the
+		// server's own families: a scrape of a freshly started process
+		// shows every ixplight_{lg,collector,analysis,lg_server}_* family
+		// this binary (or a collector pointed at it) can ever emit.
+		lg.NewMetrics(reg)
+		collector.NewMetrics(reg)
+		analysis.SetTelemetry(reg)
+		handler = instrument(reg, handler)
+		go func() {
+			log.Printf("telemetry on %s (/metrics, /debug/vars, /debug/pprof)", *metricsAddr)
+			if err := http.ListenAndServe(*metricsAddr, reg.Handler()); err != nil {
+				log.Printf("telemetry listener: %v", err)
+			}
+		}()
+	}
 	log.Printf("looking glass for %s on %s", *ixp, *addr)
 	if err := http.ListenAndServe(*addr, handler); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+}
+
+// statusRecorder captures the status code a handler writes.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps the LG handler with server-side request metrics.
+func instrument(reg *telemetry.Registry, next http.Handler) http.Handler {
+	requests := reg.CounterVec("ixplight_lg_server_requests_total",
+		"LG HTTP requests served, by status code.", "code")
+	seconds := reg.Histogram("ixplight_lg_server_request_seconds",
+		"LG HTTP request handling time.", nil)
+	inFlight := reg.Gauge("ixplight_lg_server_in_flight",
+		"LG HTTP requests currently being handled.")
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		inFlight.Inc()
+		defer inFlight.Dec()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		t0 := time.Now()
+		next.ServeHTTP(rec, r)
+		seconds.ObserveSince(t0)
+		requests.With(strconv.Itoa(rec.code)).Inc()
+	})
 }
 
 // serveBGP accepts member BGP sessions and feeds announcements into

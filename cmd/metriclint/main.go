@@ -1,0 +1,99 @@
+// Command metriclint enforces the repo's metric naming rule: every
+// metric family registered on a telemetry.Registry must be named by a
+// string literal matching ^ixplight_[a-z_]+$ — lowercase, underscore
+// separated, and carrying the module prefix so dashboards can glob
+// ixplight_* across binaries.
+//
+// It walks every non-test Go file, finds calls to the registry
+// constructors (Counter, CounterVec, Gauge, GaugeVec, Histogram,
+// HistogramVec) and checks their name argument. Exit status 1 when any
+// name violates the rule; the offending file:line is printed. Run via
+// `make vet`.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+var namePattern = regexp.MustCompile(`^ixplight_[a-z_]+$`)
+
+// constructors are the telemetry.Registry methods whose first argument
+// is a metric family name.
+var constructors = map[string]bool{
+	"Counter":      true,
+	"CounterVec":   true,
+	"Gauge":        true,
+	"GaugeVec":     true,
+	"Histogram":    true,
+	"HistogramVec": true,
+}
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	fset := token.NewFileSet()
+	violations := 0
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name != "." && (strings.HasPrefix(name, ".") || name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		file, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !constructors[sel.Sel.Name] {
+				return true
+			}
+			lit, ok := call.Args[0].(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				// Dynamic names go through SanitizeName at registration;
+				// the lint covers the static catalog.
+				return true
+			}
+			name, err := strconv.Unquote(lit.Value)
+			if err != nil || namePattern.MatchString(name) {
+				return true
+			}
+			fmt.Fprintf(os.Stderr, "%s: metric name %q does not match %s\n",
+				fset.Position(lit.Pos()), name, namePattern)
+			violations++
+			return true
+		})
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if violations > 0 {
+		fmt.Fprintf(os.Stderr, "metriclint: %d violation(s)\n", violations)
+		os.Exit(1)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ixplight/internal/asdb"
 	"ixplight/internal/bgp"
@@ -136,6 +137,18 @@ type indexKey struct {
 type indexEntry struct {
 	once sync.Once
 	ix   *Index
+	// done flips after the build completes, separating cache hits from
+	// lookups that coalesce onto an in-flight build.
+	done atomic.Bool
+}
+
+// build runs the entry's single-flight construction.
+func (e *indexEntry) build(s *collector.Snapshot, scheme *dictionary.Scheme) *Index {
+	e.once.Do(func() {
+		e.ix = NewIndexWorkers(s, scheme, Parallelism())
+		e.done.Store(true)
+	})
+	return e.ix
 }
 
 var (
@@ -150,22 +163,30 @@ var (
 // snapshot must not be mutated while indexed analyses run against it
 // (see the Index concurrency contract).
 func IndexFor(s *collector.Snapshot, scheme *dictionary.Scheme) *Index {
+	t := tel()
 	key := indexKey{snap: s, scheme: scheme}
 	indexMu.Lock()
 	e := indexEntries[key]
 	if e == nil {
+		evicted := 0
 		if len(indexEntries) >= indexCacheCap {
 			oldest := indexOrder[0]
 			indexOrder = indexOrder[1:]
 			delete(indexEntries, oldest)
+			evicted = 1
 		}
 		e = &indexEntry{}
 		indexEntries[key] = e
 		indexOrder = append(indexOrder, key)
+		t.miss()
+		t.cache(len(indexEntries), evicted)
+	} else if e.done.Load() {
+		t.hit()
+	} else {
+		t.coalesce()
 	}
 	indexMu.Unlock()
-	e.once.Do(func() { e.ix = NewIndexWorkers(s, scheme, Parallelism()) })
-	return e.ix
+	return e.build(s, scheme)
 }
 
 // InvalidateIndex drops any cached index for s, for callers that must
@@ -174,14 +195,17 @@ func InvalidateIndex(s *collector.Snapshot) {
 	indexMu.Lock()
 	defer indexMu.Unlock()
 	kept := indexOrder[:0]
+	dropped := 0
 	for _, key := range indexOrder {
 		if key.snap == s {
 			delete(indexEntries, key)
+			dropped++
 			continue
 		}
 		kept = append(kept, key)
 	}
 	indexOrder = kept
+	tel().cache(len(indexEntries), dropped)
 }
 
 // indexFor is the wrapper dispatch: the shared index when the indexed
@@ -215,8 +239,14 @@ func indexForSnapshot(s *collector.Snapshot) *Index {
 	if e == nil {
 		return nil
 	}
-	e.once.Do(func() { e.ix = NewIndexWorkers(s, scheme, Parallelism()) })
-	return e.ix
+	if t := tel(); t != nil {
+		if e.done.Load() {
+			t.hit()
+		} else {
+			t.coalesce()
+		}
+	}
+	return e.build(s, scheme)
 }
 
 // --- construction -------------------------------------------------------
@@ -232,6 +262,17 @@ func NewIndex(s *collector.Snapshot, scheme *dictionary.Scheme) *Index {
 // worker-local memo, and the shard aggregates are merged in route
 // order — the result is identical for any worker count.
 func NewIndexWorkers(s *collector.Snapshot, scheme *dictionary.Scheme, workers int) *Index {
+	t := tel()
+	if t != nil {
+		sp := t.span("analysis.index_build")
+		sp.SetAttr("ixp", s.IXP)
+		sp.SetAttr("date", s.Date)
+		t0 := time.Now()
+		defer func() {
+			t.built(time.Since(t0))
+			sp.End()
+		}()
+	}
 	ix := &Index{
 		snap:    s,
 		scheme:  scheme,

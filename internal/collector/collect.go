@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"os"
+	"time"
 
 	"ixplight/internal/bgp"
 	"ixplight/internal/dictionary"
@@ -47,6 +48,13 @@ type CollectOptions struct {
 	// the client's MaxInFlight and checkpoint saves are serialized
 	// through a single writer.
 	NeighborParallelism int
+	// Metrics records crawl telemetry when set (see NewMetrics). Nil
+	// disables instrumentation at zero cost.
+	Metrics *Metrics
+	// Stats, when non-nil, is filled with a per-crawl summary (retries,
+	// slowest neighbor, budget state) whenever the crawl produces a
+	// snapshot.
+	Stats *CrawlStats
 }
 
 // Collect crawls a looking glass into one snapshot, following the §3
@@ -64,11 +72,29 @@ func Collect(ctx context.Context, client *lg.Client, date string) (*Snapshot, er
 // neighbor whose routes are missing. Status or neighbor-summary
 // failures are always fatal — without the member list there is no
 // snapshot to degrade.
-func CollectWithOptions(ctx context.Context, client *lg.Client, date string, opts CollectOptions) (*Snapshot, error) {
+func CollectWithOptions(ctx context.Context, client *lg.Client, date string, opts CollectOptions) (snap *Snapshot, err error) {
+	m := opts.Metrics
+	sp := m.span("collector.collect")
+	defer func() {
+		switch {
+		case err != nil:
+			m.snapshotDone("failed")
+			sp.SetAttr("outcome", "failed")
+		case snap.Partial:
+			m.snapshotDone("partial")
+			sp.SetAttr("outcome", "partial")
+		default:
+			m.snapshotDone("ok")
+			sp.SetAttr("outcome", "ok")
+		}
+		sp.End()
+	}()
 	status, err := client.Status(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("collector: status: %w", err)
 	}
+	sp.SetAttr("ixp", status.IXP)
+	sp.SetAttr("date", date)
 	neighbors, err := client.Neighbors(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("collector: neighbors: %w", err)
@@ -83,7 +109,7 @@ func CollectWithOptions(ctx context.Context, client *lg.Client, date string, opt
 	}
 	done := prog.DoneSet()
 
-	snap := &Snapshot{IXP: status.IXP, Date: date}
+	snap = &Snapshot{IXP: status.IXP, Date: date}
 	snap.Routes = append(snap.Routes, prog.Routes...)
 	// The crawl plan: every neighbor that actually needs a route
 	// listing, in neighbor order. Checkpointed neighbors never reach
@@ -101,7 +127,7 @@ func CollectWithOptions(ctx context.Context, client *lg.Client, date string, opt
 		crawl = append(crawl, n.ASN)
 	}
 
-	saver := &checkpointWriter{prog: prog, path: opts.CheckpointPath}
+	saver := &checkpointWriter{prog: prog, path: opts.CheckpointPath, m: m}
 	workers := opts.NeighborParallelism
 	if workers < 1 {
 		workers = 1
@@ -125,14 +151,24 @@ func CollectWithOptions(ctx context.Context, client *lg.Client, date string, opt
 	// Replay the outcomes in neighbor order. Both crawl strategies
 	// converge here, so the budget arithmetic — and therefore the
 	// snapshot — is identical for every worker count.
+	stats := CrawlStats{Neighbors: len(crawl), BudgetRemaining: -1}
 	consecutive, tripped := 0, false
 	for i, asn := range crawl {
 		o := outcomes[i]
+		if o.attempted {
+			stats.Retries += o.attempts - 1
+			if o.dur > stats.Slowest {
+				stats.Slowest, stats.SlowestASN = o.dur, asn
+			}
+		}
 		if tripped {
 			snap.MemberErrors = append(snap.MemberErrors, MemberError{
 				ASN: asn, Stage: StageSkipped,
 				Err: fmt.Sprintf("error budget of %d consecutive failures exhausted", opts.ErrorBudget),
 			})
+			stats.Skipped++
+			m.neighborOutcome("skipped")
+			m.memberError()
 			continue
 		}
 		if !o.attempted {
@@ -151,6 +187,9 @@ func CollectWithOptions(ctx context.Context, client *lg.Client, date string, opt
 			snap.MemberErrors = append(snap.MemberErrors, MemberError{
 				ASN: asn, Stage: StageRoutes, Err: o.err.Error(), Attempts: o.attempts,
 			})
+			stats.Failed++
+			m.neighborOutcome("failed")
+			m.memberError()
 			consecutive++
 			if opts.ErrorBudget > 0 && consecutive >= opts.ErrorBudget {
 				tripped = true
@@ -158,7 +197,19 @@ func CollectWithOptions(ctx context.Context, client *lg.Client, date string, opt
 			continue
 		}
 		consecutive = 0
+		m.neighborOutcome("ok")
 		snap.Routes = append(snap.Routes, o.routes...)
+	}
+	stats.BudgetTripped = tripped
+	if opts.ErrorBudget > 0 {
+		stats.BudgetRemaining = opts.ErrorBudget - consecutive
+		if tripped {
+			stats.BudgetRemaining = 0
+		}
+		m.budget(stats.BudgetRemaining, tripped)
+	}
+	if opts.Stats != nil {
+		*opts.Stats = stats
 	}
 	snap.Partial = len(snap.MemberErrors) > 0
 	snap.Normalize()
@@ -170,20 +221,34 @@ func CollectWithOptions(ctx context.Context, client *lg.Client, date string, opt
 }
 
 // crawlNeighbor fetches one neighbor's accepted routes with
-// neighbor-level retries, reporting how many attempts were made.
-func crawlNeighbor(ctx context.Context, client *lg.Client, asn uint32, retries int) ([]bgp.Route, int, error) {
+// neighbor-level retries, reporting how many attempts were made and
+// how long the whole crawl (retries included) took.
+func crawlNeighbor(ctx context.Context, client *lg.Client, asn uint32, retries int, m *Metrics) (routes []bgp.Route, attempts int, dur time.Duration, err error) {
+	m.workerStart()
+	defer m.workerDone()
+	sp := m.span("collector.neighbor")
+	sp.SetAttr("asn", fmt.Sprintf("%d", asn))
+	t0 := time.Now()
+	defer func() {
+		dur = time.Since(t0)
+		m.neighborCrawled(dur, attempts)
+		if err != nil {
+			sp.SetAttr("error", err.Error())
+		}
+		sp.End()
+	}()
 	var lastErr error
 	for attempt := 1; attempt <= retries+1; attempt++ {
 		routes, err := client.RoutesReceived(ctx, asn)
 		if err == nil {
-			return routes, attempt, nil
+			return routes, attempt, 0, nil
 		}
 		lastErr = err
 		if ctx.Err() != nil {
-			return nil, attempt, lastErr
+			return nil, attempt, 0, lastErr
 		}
 	}
-	return nil, retries + 1, lastErr
+	return nil, retries + 1, 0, lastErr
 }
 
 // FetchDictionary builds the §3 dictionary for one IXP the way the

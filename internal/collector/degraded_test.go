@@ -159,8 +159,8 @@ func TestErrorBudgetCircuitBreaker(t *testing.T) {
 	}
 	// status + neighbors + exactly 2 neighbor attempts: the breaker must
 	// stop the crawl from hammering a dead LG.
-	if client.Requests() != 4 {
-		t.Errorf("requests = %d, want 4", client.Requests())
+	if client.HTTPRequests() != 4 {
+		t.Errorf("http requests = %d, want 4", client.HTTPRequests())
 	}
 }
 

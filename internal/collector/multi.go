@@ -36,19 +36,34 @@ type Result struct {
 	// neighbors' routes are missing (see Snapshot.MemberErrors).
 	Partial  bool
 	Duration time.Duration
+	// Requests counts HTTP requests sent to the LG, retries and
+	// pagination included (lg.Client.HTTPRequests).
 	Requests int
+	// Stats is the per-crawl summary (retries, slowest neighbor, budget
+	// state). Zero when the crawl failed before producing a snapshot.
+	Stats CrawlStats
 }
 
-// Summary renders a one-line human-readable outcome for logs.
+// Summary renders a one-line human-readable outcome for logs. Degraded
+// crawls additionally report the retry count, the slowest neighbor and
+// the error budget's remaining headroom — the numbers an operator
+// needs to decide whether a partial snapshot is worth keeping.
 func (r Result) Summary() string {
 	switch {
 	case r.Err != nil:
 		return fmt.Sprintf("%s: failed: %v (%d requests, %v)",
 			r.Target.Name, r.Err, r.Requests, r.Duration.Round(time.Millisecond))
 	case r.Partial:
-		return fmt.Sprintf("%s: partial: %d members, %d routes, %d neighbor errors (%d requests, %v)",
+		budget := "no budget"
+		if r.Stats.BudgetTripped {
+			budget = "budget tripped"
+		} else if r.Stats.BudgetRemaining >= 0 {
+			budget = fmt.Sprintf("budget %d left", r.Stats.BudgetRemaining)
+		}
+		return fmt.Sprintf("%s: partial: %d members, %d routes, %d neighbor errors (%d requests, %v); %d retries, slowest AS%d %v, %s",
 			r.Target.Name, len(r.Snapshot.Members), len(r.Snapshot.Routes),
-			len(r.Snapshot.MemberErrors), r.Requests, r.Duration.Round(time.Millisecond))
+			len(r.Snapshot.MemberErrors), r.Requests, r.Duration.Round(time.Millisecond),
+			r.Stats.Retries, r.Stats.SlowestASN, r.Stats.Slowest.Round(time.Millisecond), budget)
 	default:
 		return fmt.Sprintf("%s: ok: %d members, %d routes (%d requests, %v)",
 			r.Target.Name, len(r.Snapshot.Members), len(r.Snapshot.Routes),
@@ -70,6 +85,14 @@ type MultiOptions struct {
 	// request slot frees up; per-target politeness (MinInterval,
 	// MaxInFlight) still applies underneath.
 	GlobalInFlight int
+	// Metrics instruments every target's crawl with one shared
+	// collector instrument set; targets that set their own
+	// CollectOptions.Metrics keep it.
+	Metrics *Metrics
+	// LGMetrics instruments every target's LG client with one shared
+	// instrument set; targets that set their own
+	// lg.ClientOptions.Metrics keep it.
+	LGMetrics *lg.Metrics
 }
 
 // CollectAll crawls every target concurrently (at most parallel at a
@@ -116,15 +139,28 @@ func CollectAllWithOptions(ctx context.Context, targets []Target, date string, m
 			if copts.Budget == nil {
 				copts.Budget = budget
 			}
+			if copts.Metrics == nil {
+				copts.Metrics = mopts.LGMetrics
+			}
+			collectOpts := tgt.Collect
+			if collectOpts.Metrics == nil {
+				collectOpts.Metrics = mopts.Metrics
+			}
+			if collectOpts.Stats == nil {
+				collectOpts.Stats = new(CrawlStats)
+			}
+			collectOpts.Metrics.targetStart()
 			client := lg.NewClient(tgt.URL, copts)
-			snap, err := CollectWithOptions(ctx, client, date, tgt.Collect)
+			snap, err := CollectWithOptions(ctx, client, date, collectOpts)
+			collectOpts.Metrics.targetDone()
 			results[i] = Result{
 				Target:   tgt,
 				Snapshot: snap,
 				Err:      err,
 				Partial:  snap != nil && snap.Partial,
 				Duration: time.Since(start),
-				Requests: client.Requests(),
+				Requests: client.HTTPRequests(),
+				Stats:    *collectOpts.Stats,
 			}
 		}(i, tgt)
 	}

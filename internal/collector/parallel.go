@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"ixplight/internal/bgp"
 	"ixplight/internal/lg"
@@ -17,6 +18,7 @@ type neighborOutcome struct {
 	attempted bool
 	routes    []bgp.Route
 	attempts  int
+	dur       time.Duration
 	err       error
 }
 
@@ -28,6 +30,7 @@ type checkpointWriter struct {
 	mu   sync.Mutex
 	prog *Checkpoint
 	path string
+	m    *Metrics
 }
 
 // markDone records one completed neighbor and persists the checkpoint
@@ -39,7 +42,10 @@ func (w *checkpointWriter) markDone(asn uint32, routes []bgp.Route) error {
 	if w.path == "" {
 		return nil
 	}
-	return w.prog.Save(w.path)
+	t0 := w.m.now()
+	err := w.prog.Save(w.path)
+	w.m.checkpointSaved(t0)
+	return err
 }
 
 // crawlSequential is the single-connection crawl: one neighbor at a
@@ -50,8 +56,8 @@ func crawlSequential(ctx context.Context, client *lg.Client, crawl []uint32, opt
 	outcomes := make([]neighborOutcome, len(crawl))
 	consecutive := 0
 	for i, asn := range crawl {
-		routes, attempts, err := crawlNeighbor(ctx, client, asn, opts.NeighborRetries)
-		outcomes[i] = neighborOutcome{attempted: true, routes: routes, attempts: attempts, err: err}
+		routes, attempts, dur, err := crawlNeighbor(ctx, client, asn, opts.NeighborRetries, opts.Metrics)
+		outcomes[i] = neighborOutcome{attempted: true, routes: routes, attempts: attempts, dur: dur, err: err}
 		if err != nil {
 			if !opts.Partial || ctx.Err() != nil {
 				// The replay surfaces this outcome as the crawl error.
@@ -107,14 +113,14 @@ func crawlParallel(ctx context.Context, client *lg.Client, crawl []uint32, opts 
 				mu.Unlock()
 
 				asn := crawl[i]
-				routes, attempts, err := crawlNeighbor(ctx, client, asn, opts.NeighborRetries)
+				routes, attempts, dur, err := crawlNeighbor(ctx, client, asn, opts.NeighborRetries, opts.Metrics)
 				var serr error
 				if err == nil {
 					serr = saver.markDone(asn, routes)
 				}
 
 				mu.Lock()
-				outcomes[i] = neighborOutcome{attempted: true, routes: routes, attempts: attempts, err: err}
+				outcomes[i] = neighborOutcome{attempted: true, routes: routes, attempts: attempts, dur: dur, err: err}
 				completed[i] = true
 				if serr != nil {
 					if saveErr == nil {

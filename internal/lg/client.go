@@ -53,6 +53,11 @@ type ClientOptions struct {
 	Budget *RequestBudget
 	// HTTPClient overrides the transport (nil = http.DefaultClient).
 	HTTPClient *http.Client
+	// Metrics, when set, records the client's runtime behaviour —
+	// requests, retries by cause, politeness and budget waits, per-call
+	// latency — into a telemetry registry (see NewMetrics). Nil keeps
+	// instrumentation off at zero cost.
+	Metrics *Metrics
 }
 
 // ErrConcurrentUse is returned when a Client is entered by more
@@ -95,9 +100,13 @@ func (b *RequestBudget) release() { <-b.slots }
 // The contract is enforced: a call that would exceed the bound fails
 // with ErrConcurrentUse rather than silently queueing.
 type Client struct {
-	base     string
-	opts     ClientOptions
-	http     *http.Client
+	base string
+	opts ClientOptions
+	http *http.Client
+	m    *Metrics
+	// calls counts admitted logical API calls; requests counts wire
+	// requests (every HTTP round trip, including retries and pages).
+	calls    atomic.Int64
 	requests atomic.Int64
 	// sem holds one token per in-flight call (capacity MaxInFlight).
 	sem chan struct{}
@@ -130,11 +139,18 @@ func NewClient(base string, opts ClientOptions) *Client {
 	if opts.MaxInFlight < 1 {
 		opts.MaxInFlight = 1
 	}
-	return &Client{base: base, opts: opts, http: hc, sem: make(chan struct{}, opts.MaxInFlight)}
+	return &Client{base: base, opts: opts, http: hc, m: opts.Metrics, sem: make(chan struct{}, opts.MaxInFlight)}
 }
 
-// Requests reports the total requests issued, including retries.
-func (c *Client) Requests() int { return int(c.requests.Load()) }
+// Requests reports the number of logical API calls made (Status,
+// Neighbors, one routes listing, …) — pagination and retries are one
+// call no matter how many wire requests they take. For the historical
+// "total requests issued, including retries" count, use HTTPRequests.
+func (c *Client) Requests() int { return int(c.calls.Load()) }
+
+// HTTPRequests reports the total wire requests issued, including
+// retries and pagination — what Requests counted before the split.
+func (c *Client) HTTPRequests() int { return int(c.requests.Load()) }
 
 // MaxInFlight reports the client's in-flight call bound, so callers
 // (the collector's neighbor pool) can size their worker count to it.
@@ -146,13 +162,25 @@ func (c *Client) MaxInFlight() int { return c.opts.MaxInFlight }
 func (c *Client) acquire() error {
 	select {
 	case c.sem <- struct{}{}:
+		c.calls.Add(1)
+		c.m.callStarted()
 		return nil
 	default:
 		return ErrConcurrentUse
 	}
 }
 
-func (c *Client) release() { <-c.sem }
+func (c *Client) release() {
+	c.m.callFinished()
+	<-c.sem
+}
+
+// countWire records one HTTP round trip on both the atomic counter
+// and, when instrumented, the telemetry registry.
+func (c *Client) countWire() {
+	c.requests.Add(1)
+	c.m.httpRequest()
+}
 
 // get fetches one endpoint into out, honouring the rate limit and
 // retrying transient failures (5xx, 429, transport errors, truncated
@@ -164,6 +192,17 @@ func (c *Client) get(ctx context.Context, path string, out any) error {
 	for attempt := 0; attempt <= c.opts.MaxRetries; attempt++ {
 		if attempt > 0 {
 			wait := c.retryDelay(lastErr, &backoff)
+			if c.m != nil {
+				cause, kind := "other", "backoff"
+				var re *retryableError
+				if errors.As(lastErr, &re) {
+					cause = re.cause
+					if re.retryAfter > 0 {
+						kind = "retry_after"
+					}
+				}
+				c.m.retry(cause, kind, wait)
+			}
 			select {
 			case <-time.After(wait):
 			case <-ctx.Done():
@@ -246,6 +285,7 @@ func (c *Client) throttle(ctx context.Context) error {
 	c.nextSend = slot.Add(c.opts.MinInterval)
 	c.paceMu.Unlock()
 	if wait := time.Until(slot); wait > 0 {
+		c.m.pacer(wait)
 		select {
 		case <-time.After(wait):
 		case <-ctx.Done():
@@ -256,10 +296,12 @@ func (c *Client) throttle(ctx context.Context) error {
 }
 
 // retryableError marks failures worth retrying; retryAfter carries
-// the server's requested delay when it sent one.
+// the server's requested delay when it sent one, and cause classifies
+// the failure for the retry metrics.
 type retryableError struct {
 	err        error
 	retryAfter time.Duration
+	cause      string
 }
 
 func (e *retryableError) Error() string { return e.err.Error() }
@@ -276,15 +318,17 @@ func (c *Client) once(ctx context.Context, path string, out any) error {
 		return err
 	}
 	if b := c.opts.Budget; b != nil {
+		t0 := c.m.now()
 		if err := b.acquire(ctx); err != nil {
 			return err
 		}
+		c.m.budgetWaited(t0)
 		defer b.release()
 	}
-	c.requests.Add(1)
+	c.countWire()
 	resp, err := c.http.Do(req)
 	if err != nil {
-		return &retryableError{err: err}
+		return &retryableError{err: err, cause: "transport"}
 	}
 	defer resp.Body.Close()
 	switch {
@@ -292,10 +336,10 @@ func (c *Client) once(ctx context.Context, path string, out any) error {
 		body, err := io.ReadAll(resp.Body)
 		if err != nil {
 			// A connection dying mid-body is as transient as a 500.
-			return &retryableError{err: fmt.Errorf("lg: %s: reading body: %w", path, err)}
+			return &retryableError{err: fmt.Errorf("lg: %s: reading body: %w", path, err), cause: "read_body"}
 		}
 		if err := json.Unmarshal(body, out); err != nil {
-			return &retryableError{err: fmt.Errorf("lg: %s: invalid JSON (truncated response?): %w", path, err)}
+			return &retryableError{err: fmt.Errorf("lg: %s: invalid JSON (truncated response?): %w", path, err), cause: "bad_json"}
 		}
 		return nil
 	case resp.StatusCode == http.StatusTooManyRequests:
@@ -303,10 +347,11 @@ func (c *Client) once(ctx context.Context, path string, out any) error {
 		return &retryableError{
 			err:        fmt.Errorf("lg: %s: status 429", path),
 			retryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+			cause:      "http_429",
 		}
 	case resp.StatusCode >= 500:
 		io.Copy(io.Discard, resp.Body)
-		return &retryableError{err: fmt.Errorf("lg: %s: status %d", path, resp.StatusCode)}
+		return &retryableError{err: fmt.Errorf("lg: %s: status %d", path, resp.StatusCode), cause: "http_5xx"}
 	default:
 		io.Copy(io.Discard, resp.Body)
 		return fmt.Errorf("lg: %s: status %d", path, resp.StatusCode)
@@ -319,6 +364,7 @@ func (c *Client) Status(ctx context.Context) (*StatusResponse, error) {
 		return nil, err
 	}
 	defer c.release()
+	defer c.m.callTimer("status")()
 	var out StatusResponse
 	if err := c.get(ctx, "/api/v1/status", &out); err != nil {
 		return nil, err
@@ -333,6 +379,7 @@ func (c *Client) Neighbors(ctx context.Context) ([]Neighbor, error) {
 		return nil, err
 	}
 	defer c.release()
+	defer c.m.callTimer("neighbors")()
 	var out NeighborsResponse
 	if err := c.get(ctx, "/api/v1/routeservers/rs1/neighbors", &out); err != nil {
 		return nil, err
@@ -346,6 +393,7 @@ func (c *Client) Config(ctx context.Context) (*ConfigResponse, error) {
 		return nil, err
 	}
 	defer c.release()
+	defer c.m.callTimer("config")()
 	var out ConfigResponse
 	if err := c.get(ctx, "/api/v1/routeservers/rs1/config", &out); err != nil {
 		return nil, err
@@ -359,6 +407,7 @@ func (c *Client) ConfigRaw(ctx context.Context) (string, error) {
 		return "", err
 	}
 	defer c.release()
+	defer c.m.callTimer("config_raw")()
 	if err := c.throttle(ctx); err != nil {
 		return "", err
 	}
@@ -372,12 +421,14 @@ func (c *Client) ConfigRaw(ctx context.Context) (string, error) {
 		return "", err
 	}
 	if b := c.opts.Budget; b != nil {
+		t0 := c.m.now()
 		if err := b.acquire(ctx); err != nil {
 			return "", err
 		}
+		c.m.budgetWaited(t0)
 		defer b.release()
 	}
-	c.requests.Add(1)
+	c.countWire()
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return "", err
@@ -452,6 +503,7 @@ func (c *Client) RoutesReceived(ctx context.Context, asn uint32) ([]bgp.Route, e
 		return nil, err
 	}
 	defer c.release()
+	defer c.m.callTimer("routes_received")()
 	return c.routesPaged(ctx, fmt.Sprintf("/api/v1/routeservers/rs1/neighbors/%d/routes/received", asn))
 }
 
@@ -462,6 +514,7 @@ func (c *Client) RoutesNotExported(ctx context.Context, asn uint32) ([]bgp.Route
 		return nil, err
 	}
 	defer c.release()
+	defer c.m.callTimer("routes_not_exported")()
 	return c.routesPaged(ctx, fmt.Sprintf("/api/v1/routeservers/rs1/neighbors/%d/routes/not-exported", asn))
 }
 
@@ -472,6 +525,7 @@ func (c *Client) FilteredCount(ctx context.Context, asn uint32) (int, error) {
 		return 0, err
 	}
 	defer c.release()
+	defer c.m.callTimer("filtered_count")()
 	var resp RoutesResponse
 	path := fmt.Sprintf("/api/v1/routeservers/rs1/neighbors/%d/routes/filtered?page=0&page_size=1", asn)
 	if err := c.get(ctx, path, &resp); err != nil {

@@ -139,8 +139,8 @@ func TestTruncatedBodyIsRetried(t *testing.T) {
 			t.Fatalf("call %d: neighbors = %d", i, len(ns))
 		}
 	}
-	if c.Requests() <= 4 {
-		t.Errorf("requests = %d: truncated responses were apparently never retried", c.Requests())
+	if c.HTTPRequests() <= 4 {
+		t.Errorf("http requests = %d: truncated responses were apparently never retried", c.HTTPRequests())
 	}
 }
 
@@ -207,8 +207,8 @@ func TestNeighborOutageIsPermanent(t *testing.T) {
 	if _, err := c.RoutesReceived(context.Background(), 100); err == nil {
 		t.Error("outage neighbor: want error")
 	}
-	if c.Requests() != 3 {
-		t.Errorf("requests = %d, want 3 (permanent 500 exhausts retries)", c.Requests())
+	if c.HTTPRequests() != 3 {
+		t.Errorf("http requests = %d, want 3 (permanent 500 exhausts retries)", c.HTTPRequests())
 	}
 	if _, err := c.Neighbors(context.Background()); err != nil {
 		t.Errorf("other endpoints must stay up: %v", err)

@@ -110,8 +110,12 @@ func TestRoutesPagination(t *testing.T) {
 		t.Error("paginated routes differ from RS state")
 	}
 	// 5 pages of routes + neighbors-free direct call count.
-	if c.Requests() != 5 {
-		t.Errorf("requests = %d, want 5 pages", c.Requests())
+	if c.HTTPRequests() != 5 {
+		t.Errorf("http requests = %d, want 5 pages", c.HTTPRequests())
+	}
+	// One logical call, however many pages it took.
+	if c.Requests() != 1 {
+		t.Errorf("logical calls = %d, want 1", c.Requests())
 	}
 }
 
@@ -181,8 +185,8 @@ func TestNotFoundAndBadRequests(t *testing.T) {
 	if _, err := c.RoutesReceived(context.Background(), 999); err == nil {
 		t.Error("want error for unknown neighbor")
 	}
-	if c.Requests() != 1 {
-		t.Errorf("requests = %d, 404 must not be retried", c.Requests())
+	if c.HTTPRequests() != 1 {
+		t.Errorf("http requests = %d, 404 must not be retried", c.HTTPRequests())
 	}
 }
 
@@ -202,8 +206,11 @@ func TestClientRetriesFlakyServer(t *testing.T) {
 	if len(routes) != 5 {
 		t.Errorf("routes = %d, want 5", len(routes))
 	}
-	if c.Requests() <= 5 {
+	if c.HTTPRequests() <= 5 {
 		t.Error("expected retries to have happened")
+	}
+	if c.Requests() != 1 {
+		t.Errorf("logical calls = %d: retries must not count as calls", c.Requests())
 	}
 }
 
@@ -234,8 +241,11 @@ func TestClientGivesUpEventually(t *testing.T) {
 	if _, err := c.Status(context.Background()); err == nil {
 		t.Error("want error from permanently failing server")
 	}
-	if c.Requests() != 3 {
-		t.Errorf("requests = %d, want 3 (1 + 2 retries)", c.Requests())
+	if c.HTTPRequests() != 3 {
+		t.Errorf("http requests = %d, want 3 (1 + 2 retries)", c.HTTPRequests())
+	}
+	if c.Requests() != 1 {
+		t.Errorf("logical calls = %d, want 1", c.Requests())
 	}
 }
 

@@ -1,0 +1,129 @@
+package lg
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"ixplight/internal/telemetry"
+)
+
+// TestClientMetrics drives an instrumented client against a flaky LG
+// and checks every instrument: the logical/wire split, retry causes,
+// the in-flight gauge returning to zero, and per-call latency counts.
+func TestClientMetrics(t *testing.T) {
+	server, _ := fixture(t, 5)
+	flaky := httptest.NewServer(Flaky(NewServer(server), FlakyOptions{
+		ErrorRate: 0.5,
+		Seed:      3,
+	}))
+	defer flaky.Close()
+
+	reg := telemetry.New()
+	m := NewMetrics(reg)
+	c := NewClient(flaky.URL, ClientOptions{
+		PageSize:     2,
+		MaxRetries:   30,
+		RetryBackoff: time.Millisecond,
+		Metrics:      m,
+	})
+	ctx := context.Background()
+	if _, err := c.Status(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Neighbors(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RoutesReceived(ctx, 100); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := m.requests.Value(); got != int64(c.Requests()) {
+		t.Errorf("requests counter = %d, Requests() = %d", got, c.Requests())
+	}
+	if c.Requests() != 3 {
+		t.Errorf("logical calls = %d, want 3", c.Requests())
+	}
+	if got := m.httpRequests.Value(); got != int64(c.HTTPRequests()) {
+		t.Errorf("http counter = %d, HTTPRequests() = %d", got, c.HTTPRequests())
+	}
+	if c.HTTPRequests() <= 3 {
+		t.Errorf("http requests = %d: flaky server must have forced retries", c.HTTPRequests())
+	}
+	// Retries: wire minus logical minus extra pages (3 pages of 2 for
+	// 5 routes → 2 extra wire requests are pagination, not retries).
+	wantRetries := int64(c.HTTPRequests() - c.Requests() - 2)
+	if got := m.retries.With("http_5xx").Value(); got != wantRetries {
+		t.Errorf("retries{http_5xx} = %d, want %d", got, wantRetries)
+	}
+	if got := m.retryWait.With("backoff").Count(); got != uint64(wantRetries) {
+		t.Errorf("retry wait observations = %d, want %d", got, wantRetries)
+	}
+	if got := m.inFlight.Value(); got != 0 {
+		t.Errorf("in-flight gauge = %d after all calls returned", got)
+	}
+	for _, call := range []string{"status", "neighbors", "routes_received"} {
+		if got := m.callSeconds.With(call).Count(); got != 1 {
+			t.Errorf("call latency count for %q = %d, want 1", call, got)
+		}
+	}
+}
+
+// TestClientMetricsRetryAfterCause: a 429 with Retry-After must be
+// recorded under the http_429 cause and the retry_after wait kind.
+func TestClientMetricsRetryAfterCause(t *testing.T) {
+	calls := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		calls++
+		if calls == 1 {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "rate limited", http.StatusTooManyRequests)
+			return
+		}
+		w.Write([]byte(`{"ixp":"TEST","version":"1.0","rs_asn":1}`))
+	}))
+	defer ts.Close()
+
+	reg := telemetry.New()
+	m := NewMetrics(reg)
+	c := NewClient(ts.URL, ClientOptions{
+		MaxRetries:    2,
+		RetryBackoff:  time.Millisecond,
+		MaxRetryAfter: 10 * time.Millisecond,
+		Metrics:       m,
+	})
+	if _, err := c.Status(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.retries.With("http_429").Value(); got != 1 {
+		t.Errorf("retries{http_429} = %d, want 1", got)
+	}
+	if got := m.retryWait.With("retry_after").Count(); got != 1 {
+		t.Errorf("retry wait{retry_after} = %d, want 1", got)
+	}
+}
+
+// TestSharedMetricsAcrossClients: two clients sharing one instrument
+// set aggregate into the same counters — the multi-target wiring.
+func TestSharedMetricsAcrossClients(t *testing.T) {
+	_, ts := fixture(t, 1)
+	reg := telemetry.New()
+	m := NewMetrics(reg)
+	a := NewClient(ts.URL, ClientOptions{Metrics: m})
+	b := NewClient(ts.URL, ClientOptions{Metrics: m})
+	ctx := context.Background()
+	if _, err := a.Status(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Status(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.requests.Value(); got != 2 {
+		t.Errorf("shared requests counter = %d, want 2", got)
+	}
+	if a.Requests() != 1 || b.Requests() != 1 {
+		t.Errorf("per-client calls = %d/%d, want 1/1", a.Requests(), b.Requests())
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"time"
 
 	"ixplight/internal/analysis"
 	"ixplight/internal/asdb"
@@ -13,6 +14,7 @@ import (
 	"ixplight/internal/netutil"
 	"ixplight/internal/rs"
 	"ixplight/internal/sanitize"
+	"ixplight/internal/telemetry"
 )
 
 // Experiment names accepted by Run: one per paper artifact, plus the
@@ -47,6 +49,10 @@ type Lab struct {
 	// are identical for any value — parallel work lands in ordered
 	// slots.
 	Parallel int
+	// Telemetry, when set, records a per-experiment run-time histogram
+	// (ixplight_report_experiment_seconds) and emits a
+	// "report.experiment" span per Run.
+	Telemetry *telemetry.Registry
 }
 
 // workers resolves the lab's worker budget.
@@ -92,7 +98,26 @@ func NewLabParallel(profiles []ixpgen.Profile, seed int64, scale float64, worker
 }
 
 // Run executes one experiment by name, writing its paper-shaped output.
-func (l *Lab) Run(w io.Writer, name string) error {
+func (l *Lab) Run(w io.Writer, name string) (err error) {
+	if l.Telemetry != nil {
+		sp := l.Telemetry.StartSpan("report.experiment")
+		sp.SetAttr("experiment", name)
+		h := l.Telemetry.HistogramVec("ixplight_report_experiment_seconds",
+			"Experiment run time by name.", nil, "experiment").With(name)
+		t0 := time.Now()
+		defer func() {
+			h.ObserveSince(t0)
+			if err != nil {
+				sp.SetAttr("error", err.Error())
+			}
+			sp.End()
+		}()
+	}
+	return l.run(w, name)
+}
+
+// run is the uninstrumented experiment dispatch.
+func (l *Lab) run(w io.Writer, name string) error {
 	switch name {
 	case "table1":
 		return l.runTable1(w)

@@ -1,0 +1,83 @@
+package report
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"ixplight/internal/telemetry"
+)
+
+// TestRunRecordsExperimentTelemetry: an instrumented Lab must time
+// each experiment under its own label and emit a report.experiment
+// span, errors included.
+func TestRunRecordsExperimentTelemetry(t *testing.T) {
+	l := testLab(t)
+	reg := telemetry.New()
+	sink := &telemetry.RecordingSink{}
+	reg.SetSpanSink(sink)
+	l.Telemetry = reg
+	t.Cleanup(func() { l.Telemetry = nil })
+
+	if err := l.Run(io.Discard, "fig1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Run(io.Discard, "fig1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Run(io.Discard, "table2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Run(io.Discard, "no-such-experiment"); err == nil {
+		t.Fatal("want error for unknown experiment")
+	}
+
+	h := reg.HistogramVec("ixplight_report_experiment_seconds", "", nil, "experiment")
+	if got := h.With("fig1").Count(); got != 2 {
+		t.Errorf("fig1 observations = %d, want 2", got)
+	}
+	if got := h.With("table2").Count(); got != 1 {
+		t.Errorf("table2 observations = %d, want 1", got)
+	}
+
+	spans := sink.Named("report.experiment")
+	if len(spans) != 4 {
+		t.Fatalf("spans = %d, want 4 (errors are spanned too)", len(spans))
+	}
+	var failed *telemetry.Span
+	for i := range spans {
+		for _, a := range spans[i].Attrs {
+			if a.Key == "experiment" && a.Value == "no-such-experiment" {
+				failed = &spans[i]
+			}
+		}
+	}
+	if failed == nil {
+		t.Fatal("no span for the failing experiment")
+	}
+	hasError := false
+	for _, a := range failed.Attrs {
+		if a.Key == "error" && strings.Contains(a.Value, "unknown experiment") {
+			hasError = true
+		}
+	}
+	if !hasError {
+		t.Errorf("failing span attrs = %v, want an error attr", failed.Attrs)
+	}
+}
+
+// TestRunWithoutTelemetryUnchanged: the nil-Telemetry Lab (the
+// default) must run experiments exactly as before.
+func TestRunWithoutTelemetryUnchanged(t *testing.T) {
+	l := testLab(t)
+	if l.Telemetry != nil {
+		t.Fatal("test lab unexpectedly instrumented")
+	}
+	var b strings.Builder
+	if err := l.Run(&b, "fig3"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "Figure 3") {
+		t.Errorf("output = %q", b.String())
+	}
+}

@@ -1,0 +1,157 @@
+package telemetry
+
+import (
+	"math"
+	"runtime"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// DefBuckets are the default latency bounds, in seconds — the usual
+// Prometheus spread, extended downward because the in-process looking
+// glass answers in microseconds.
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+	0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// normalizeBuckets sorts and defaults the bounds; a trailing +Inf is
+// implicit and dropped if supplied.
+func normalizeBuckets(b []float64) []float64 {
+	if len(b) == 0 {
+		return DefBuckets
+	}
+	out := append([]float64(nil), b...)
+	sort.Float64s(out)
+	for len(out) > 0 && math.IsInf(out[len(out)-1], +1) {
+		out = out[:len(out)-1]
+	}
+	return out
+}
+
+// Histogram observes a distribution of float64 values (seconds, by
+// convention) into fixed cumulative buckets. Observations land in one
+// of several shards — each with its own bucket counters and sum — so
+// concurrent writers do not serialize on one cache line; a scrape
+// folds the shards together. All methods are no-ops on a nil
+// receiver.
+type Histogram struct {
+	bounds []float64
+	shards []histShard
+	mask   uint32
+	rr     atomic.Uint32
+}
+
+// histShard is one shard's counters. The padding keeps the busiest
+// fields of adjacent shards on separate cache lines.
+type histShard struct {
+	counts []atomic.Uint64 // len(bounds)+1; the last is the +Inf bucket
+	sum    atomic.Uint64   // float64 bits, CAS-added
+	_      [40]byte
+}
+
+// histShards picks the shard count: enough parallelism to spread
+// GOMAXPROCS writers, rounded up to a power of two for cheap masking.
+func histShards() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > 64 {
+		n = 64
+	}
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	return size
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	h := &Histogram{
+		bounds: bounds,
+		shards: make([]histShard, histShards()),
+	}
+	h.mask = uint32(len(h.shards) - 1)
+	for i := range h.shards {
+		h.shards[i].counts = make([]atomic.Uint64, len(bounds)+1)
+	}
+	return h
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	sh := &h.shards[h.rr.Add(1)&h.mask]
+	// The first bound >= v is exactly the le-bucket the value belongs
+	// to; past the last bound it falls into +Inf.
+	i := sort.SearchFloat64s(h.bounds, v)
+	sh.counts[i].Add(1)
+	for {
+		old := sh.sum.Load()
+		if sh.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the seconds elapsed since t0. A zero t0 — the
+// "telemetry disabled" sentinel handed out by instrument helpers — is
+// ignored, so callers can skip the time.Now bookkeeping entirely when
+// the registry is off.
+func (h *Histogram) ObserveSince(t0 time.Time) {
+	if h == nil || t0.IsZero() {
+		return
+	}
+	h.Observe(time.Since(t0).Seconds())
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	if h == nil {
+		return
+	}
+	h.Observe(d.Seconds())
+}
+
+// histSnapshot is a folded view of all shards.
+type histSnapshot struct {
+	counts []uint64 // per-bucket (non-cumulative), +Inf last
+	count  uint64
+	sum    float64
+}
+
+// snapshot folds the shards. Concurrent observations may straddle the
+// fold — each observation is still counted exactly once; only the
+// sum/count pairing of in-flight observations can skew transiently,
+// which scrapes tolerate by design.
+func (h *Histogram) snapshot() histSnapshot {
+	s := histSnapshot{counts: make([]uint64, len(h.bounds)+1)}
+	for i := range h.shards {
+		sh := &h.shards[i]
+		for b := range sh.counts {
+			s.counts[b] += sh.counts[b].Load()
+		}
+		s.sum += math.Float64frombits(sh.sum.Load())
+	}
+	for _, c := range s.counts {
+		s.count += c
+	}
+	return s
+}
+
+// Count returns the total number of observations (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.snapshot().count
+}
+
+// Sum returns the sum of all observed values (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.snapshot().sum
+}

@@ -1,0 +1,119 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// SpanSink receives completed spans. Implementations must be safe for
+// concurrent Emit calls.
+type SpanSink interface {
+	Emit(Span)
+}
+
+// sinkBox wraps the interface so it can live in an atomic.Pointer.
+type sinkBox struct{ sink SpanSink }
+
+// SetSpanSink installs (or, with nil, removes) the span sink. Without
+// a sink StartSpan returns nil and span tracing costs nothing.
+func (r *Registry) SetSpanSink(s SpanSink) {
+	if r == nil {
+		return
+	}
+	if s == nil {
+		r.sink.Store(nil)
+		return
+	}
+	r.sink.Store(&sinkBox{sink: s})
+}
+
+// Attr is one span attribute.
+type Attr struct {
+	Key   string
+	Value string
+}
+
+// Span is one timed operation. Spans are cheap, manual, and
+// single-goroutine: start one with Registry.StartSpan, attach
+// attributes, call End. All methods are no-ops on a nil receiver, so
+// instrumented code never checks whether tracing is on.
+type Span struct {
+	Name  string
+	Start time.Time
+	Stop  time.Time
+	Attrs []Attr
+
+	sink SpanSink
+}
+
+// StartSpan begins a span. It returns nil — a no-op span — when the
+// registry is nil or no sink is installed.
+func (r *Registry) StartSpan(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	box := r.sink.Load()
+	if box == nil {
+		return nil
+	}
+	return &Span{Name: name, Start: time.Now(), sink: box.sink}
+}
+
+// SetAttr attaches one key/value attribute.
+func (s *Span) SetAttr(key, value string) {
+	if s != nil {
+		s.Attrs = append(s.Attrs, Attr{Key: key, Value: value})
+	}
+}
+
+// End stamps the span's stop time and emits it to the sink. Calling
+// End twice emits twice; don't.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.Stop = time.Now()
+	s.sink.Emit(*s)
+}
+
+// Duration is the span's elapsed time (0 on nil or before End).
+func (s *Span) Duration() time.Duration {
+	if s == nil || s.Stop.IsZero() {
+		return 0
+	}
+	return s.Stop.Sub(s.Start)
+}
+
+// RecordingSink collects spans in memory, for tests asserting on
+// emitted spans.
+type RecordingSink struct {
+	mu    sync.Mutex
+	spans []Span
+}
+
+// Emit implements SpanSink.
+func (k *RecordingSink) Emit(s Span) {
+	k.mu.Lock()
+	k.spans = append(k.spans, s)
+	k.mu.Unlock()
+}
+
+// Spans returns a copy of everything emitted so far.
+func (k *RecordingSink) Spans() []Span {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return append([]Span(nil), k.spans...)
+}
+
+// Named returns the emitted spans with the given name.
+func (k *RecordingSink) Named(name string) []Span {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	var out []Span
+	for _, s := range k.spans {
+		if s.Name == name {
+			out = append(out, s)
+		}
+	}
+	return out
+}
