@@ -379,14 +379,11 @@ func BenchmarkAblation_ExportScan(b *testing.B) {
 	}
 }
 
-// BenchmarkAblation_SnapshotCodec compares the four snapshot
-// serialisations on the same snapshot.
+// BenchmarkAblation_SnapshotCodec compares the five snapshot
+// serialisations (write + read back) on the same snapshot.
 func BenchmarkAblation_SnapshotCodec(b *testing.B) {
 	s, _ := benchSnapshot(b, "AMS-IX")
-	for _, codec := range []collector.Codec{
-		collector.CodecJSON, collector.CodecJSONGzip,
-		collector.CodecGob, collector.CodecGobGzip,
-	} {
+	for _, codec := range collector.Codecs() {
 		b.Run(codec.String(), func(b *testing.B) {
 			var size int
 			for i := 0; i < b.N; i++ {
@@ -400,6 +397,9 @@ func BenchmarkAblation_SnapshotCodec(b *testing.B) {
 				}
 			}
 			b.ReportMetric(float64(size), "bytes")
+			if n := len(s.Routes); n > 0 {
+				b.ReportMetric(float64(size)/float64(n), "bytes_per_route")
+			}
 		})
 	}
 }

@@ -24,13 +24,10 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
-	"sort"
 	"strings"
 
 	"ixplight/internal/analysis"
-	"ixplight/internal/collector"
 	"ixplight/internal/ixpgen"
-	"ixplight/internal/mrt"
 	"ixplight/internal/report"
 )
 
@@ -55,7 +52,7 @@ func main() {
 		fatal(err)
 	}
 	if *snapshotDir != "" {
-		if err := loadSnapshots(lab, *snapshotDir); err != nil {
+		if err := lab.LoadSnapshotDir(*snapshotDir); err != nil {
 			fatal(err)
 		}
 	}
@@ -103,49 +100,6 @@ func selectProfiles(spec string) ([]ixpgen.Profile, error) {
 		out = append(out, *p)
 	}
 	return out, nil
-}
-
-// loadSnapshots replaces the lab's generated snapshots with the stored
-// files: the full date-ordered series per IXP feeds the temporal
-// experiments, the latest snapshot the point-in-time ones. Both the
-// native snapshot codecs and MRT TABLE_DUMP_V2 archives (.mrt) are
-// accepted.
-func loadSnapshots(lab *report.Lab, dir string) error {
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		return err
-	}
-	lab.Series = make(map[string][]*collector.Snapshot)
-	for _, e := range entries {
-		if e.IsDir() {
-			continue
-		}
-		path := filepath.Join(dir, e.Name())
-		var snap *collector.Snapshot
-		if strings.HasSuffix(e.Name(), ".mrt") {
-			snap, err = loadMRT(path)
-		} else {
-			snap, err = collector.LoadSnapshot(path)
-		}
-		if err != nil {
-			return fmt.Errorf("load %s: %w", e.Name(), err)
-		}
-		lab.Series[snap.IXP] = append(lab.Series[snap.IXP], snap)
-	}
-	for ixp, series := range lab.Series {
-		sort.Slice(series, func(i, j int) bool { return series[i].Date < series[j].Date })
-		lab.Snapshots[ixp] = series[len(series)-1]
-	}
-	return nil
-}
-
-func loadMRT(path string) (*collector.Snapshot, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	return mrt.ReadRIB(f)
 }
 
 func fatal(err error) {

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	collect -url http://localhost:8080 [-date 2021-10-04] [-out ./data]
-//	        [-codec json|json.gz|gob|gob.gz|mrt] [-interval 100ms] [-retries 5]
+//	        [-codec json|json.gz|gob|gob.gz|binary|mrt] [-interval 100ms] [-retries 5]
 //	        [-partial] [-resume] [-checkpoint path] [-neighbor-parallel 1]
 //	        [-neighbor-retries 1] [-error-budget 0] [-request-timeout 30s]
 //	        [-metrics-addr :9100]
@@ -39,7 +39,7 @@ func main() {
 	url := flag.String("url", "http://localhost:8080", "looking glass base URL")
 	date := flag.String("date", time.Now().UTC().Format("2006-01-02"), "snapshot date stamp")
 	out := flag.String("out", "./data", "output directory")
-	codecName := flag.String("codec", "json.gz", "snapshot codec: json, json.gz, gob, gob.gz, mrt")
+	codecName := flag.String("codec", "json.gz", "snapshot codec: json, json.gz, gob, gob.gz, binary, mrt")
 	interval := flag.Duration("interval", 50*time.Millisecond, "minimum delay between LG requests")
 	retries := flag.Int("retries", 5, "retries per failed request")
 	timeout := flag.Duration("timeout", 10*time.Minute, "overall collection deadline")
@@ -183,6 +183,8 @@ func parseCodec(name string) (collector.Codec, error) {
 		return collector.CodecGob, nil
 	case "gob.gz":
 		return collector.CodecGobGzip, nil
+	case "binary", "bin":
+		return collector.CodecBinary, nil
 	default:
 		return 0, fmt.Errorf("unknown codec %q", name)
 	}

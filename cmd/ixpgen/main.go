@@ -31,7 +31,7 @@ func main() {
 	days := flag.Int("days", 84, "number of daily snapshots (84 = twelve weeks)")
 	scale := flag.Float64("scale", 0.02, "workload scale")
 	seed := flag.Int64("seed", 42, "generation seed")
-	codecName := flag.String("codec", "json.gz", "snapshot codec: json, json.gz, gob, gob.gz")
+	codecName := flag.String("codec", "json.gz", "snapshot codec: json, json.gz, gob, gob.gz, binary")
 	valleySpec := flag.String("valleys", "", "comma-separated day offsets with injected collection failures")
 	profilePath := flag.String("profile", "", "JSON file with a custom IXP profile (overrides -ixps)")
 	flag.Parse()
@@ -158,6 +158,8 @@ func parseCodec(name string) (collector.Codec, error) {
 		return collector.CodecGob, nil
 	case "gob.gz":
 		return collector.CodecGobGzip, nil
+	case "binary", "bin":
+		return collector.CodecBinary, nil
 	default:
 		return 0, fmt.Errorf("unknown codec %q", name)
 	}

@@ -1,0 +1,927 @@
+// Binary snapshot codec: a hand-rolled, versioned, length-prefixed
+// columnar format built for the pipeline's dominant cost — re-reading
+// twelve weeks × eight IXPs of daily snapshots. The encoding exploits
+// the redundancy BGP community studies keep re-measuring: AS paths,
+// next hops and whole community sets repeat massively across routes,
+// so each appears once in a deduplicated intern table and a route row
+// is mostly small varint table indices. Decoding allocates from a
+// single per-snapshot arena (one backing slab per element type shared
+// by all routes' slices) instead of one slice per route, which is
+// where the reflection codecs burn their time.
+//
+// Layout (all integers varint unless noted):
+//
+//	magic "IXPB" | uvarint version | uvarint header byte length
+//	header: IXP, Date (strings), svarint FilteredCount, flags byte
+//	        (bit0 Partial), Members, MemberErrors
+//	routes: slice header, intern tables (next hops, AS paths,
+//	        standard/extended/large community sets), then nine
+//	        byte-length-prefixed columns: prefix (front-coded),
+//	        next-hop index, AS-path index, origin (RLE), MED (RLE),
+//	        local-pref (RLE), and the three community-set indices.
+//
+// Slice headers distinguish nil from empty (0 = nil, n+1 = len n) so
+// round trips are exact under reflect.DeepEqual. The prefix column is
+// front-coded: consecutive encoded prefixes share a common byte
+// prefix (snapshots are Normalize-sorted by address, so neighbours
+// agree on most leading bytes), and each row stores only the shared
+// length and the differing suffix.
+//
+// Aliasing contract: routes decoded from this codec share their
+// ASPath and community slices with every other route carrying the
+// same interned value. Snapshot consumers (analysis, report, export)
+// treat routes as immutable; anything that mutates a route must
+// Clone() it first — the same rule rs.Server already follows.
+package collector
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/bits"
+	"net/netip"
+
+	"ixplight/internal/bgp"
+)
+
+// binaryMagic opens every CodecBinary file; LoadSnapshot and
+// OpenSnapshot use it to auto-detect the codec regardless of file
+// extension.
+const binaryMagic = "IXPB"
+
+// binaryVersion is the wire-format version. Bump it on any layout
+// change; the golden-fixture test pins version drift.
+const binaryVersion = 1
+
+// errBinaryTruncated reports a snapshot cut short mid-structure.
+var errBinaryTruncated = errors.New("collector: binary snapshot truncated")
+
+// --- encoding ------------------------------------------------------------
+
+// appendUvarint/appendSvarint are binary.AppendUvarint/AppendVarint
+// under the local naming convention.
+func appendUvarint(b []byte, v uint64) []byte { return binary.AppendUvarint(b, v) }
+func appendSvarint(b []byte, v int64) []byte  { return binary.AppendVarint(b, v) }
+
+// appendString writes a length-prefixed string.
+func appendString(b []byte, s string) []byte {
+	b = appendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// appendSliceHeader writes a nil-preserving slice length: 0 encodes a
+// nil slice, n+1 a slice of length n.
+func appendSliceHeader(b []byte, n int, isNil bool) []byte {
+	if isNil {
+		return appendUvarint(b, 0)
+	}
+	return appendUvarint(b, uint64(n)+1)
+}
+
+// interner deduplicates one kind of route attribute during encoding.
+// Keys are the attribute's canonical byte encoding; values are table
+// indices in first-appearance order, so encoding is deterministic.
+type interner struct {
+	idx          map[string]uint64
+	hits, misses int64
+}
+
+func newInterner() *interner { return &interner{idx: make(map[string]uint64)} }
+
+// intern returns the table index for key, recording whether the value
+// was already present (the intern-table hit ratio telemetry).
+func (it *interner) intern(key []byte) (idx uint64, isNew bool) {
+	if i, ok := it.idx[string(key)]; ok {
+		it.hits++
+		return i, false
+	}
+	i := uint64(len(it.idx))
+	it.idx[string(key)] = i
+	it.misses++
+	return i, true
+}
+
+// appendBinarySnapshot encodes s into buf.
+func appendBinarySnapshot(buf []byte, s *Snapshot) []byte {
+	buf = append(buf, binaryMagic...)
+	buf = appendUvarint(buf, binaryVersion)
+
+	// Header section, byte-length-prefixed so a streaming reader can
+	// answer Header() after reading exactly this many bytes, without
+	// touching the route block.
+	var hdr []byte
+	hdr = appendString(hdr, s.IXP)
+	hdr = appendString(hdr, s.Date)
+	hdr = appendSvarint(hdr, int64(s.FilteredCount))
+	var flags byte
+	if s.Partial {
+		flags |= 1
+	}
+	hdr = append(hdr, flags)
+	hdr = appendSliceHeader(hdr, len(s.Members), s.Members == nil)
+	for _, m := range s.Members {
+		hdr = appendUvarint(hdr, uint64(m.ASN))
+		hdr = appendString(hdr, m.Name)
+		var mf byte
+		if m.IPv4 {
+			mf |= 1
+		}
+		if m.IPv6 {
+			mf |= 2
+		}
+		hdr = append(hdr, mf)
+	}
+	hdr = appendSliceHeader(hdr, len(s.MemberErrors), s.MemberErrors == nil)
+	for _, e := range s.MemberErrors {
+		hdr = appendUvarint(hdr, uint64(e.ASN))
+		hdr = appendString(hdr, e.Stage)
+		hdr = appendString(hdr, e.Err)
+		hdr = appendSvarint(hdr, int64(e.Attempts))
+	}
+	buf = appendUvarint(buf, uint64(len(hdr)))
+	buf = append(buf, hdr...)
+
+	return appendBinaryRoutes(buf, s.Routes)
+}
+
+// appendBinaryRoutes encodes the route block: intern tables first,
+// then the columns.
+func appendBinaryRoutes(buf []byte, routes []bgp.Route) []byte {
+	buf = appendSliceHeader(buf, len(routes), routes == nil)
+
+	// Pass 1: intern every repeated attribute, recording per-route
+	// table indices. Table bodies are built in first-appearance order
+	// so the encoding is deterministic.
+	var (
+		scratch  []byte
+		nhTab    = newInterner()
+		pathTab  = newInterner()
+		commTab  = newInterner()
+		extTab   = newInterner()
+		largeTab = newInterner()
+
+		nhBody, pathBody, commBody, extBody, largeBody []byte
+		pathElems, commElems, extElems, largeElems     uint64
+
+		nhIdx    = make([]uint64, len(routes))
+		pathIdx  = make([]uint64, len(routes))
+		commIdx  = make([]uint64, len(routes))
+		extIdx   = make([]uint64, len(routes))
+		largeIdx = make([]uint64, len(routes))
+	)
+	for i := range routes {
+		r := &routes[i]
+
+		scratch = appendAddr(scratch[:0], r.NextHop)
+		idx, isNew := nhTab.intern(scratch)
+		nhIdx[i] = idx
+		if isNew {
+			nhBody = append(nhBody, scratch...)
+		}
+
+		scratch = scratch[:0]
+		scratch = appendSliceHeader(scratch, len(r.ASPath), r.ASPath == nil)
+		for _, asn := range r.ASPath {
+			scratch = appendUvarint(scratch, uint64(asn))
+		}
+		if idx, isNew = pathTab.intern(scratch); isNew {
+			pathBody = append(pathBody, scratch...)
+			pathElems += uint64(len(r.ASPath))
+		}
+		pathIdx[i] = idx
+
+		scratch = scratch[:0]
+		scratch = appendSliceHeader(scratch, len(r.Communities), r.Communities == nil)
+		for _, c := range r.Communities {
+			scratch = appendUvarint(scratch, uint64(c))
+		}
+		if idx, isNew = commTab.intern(scratch); isNew {
+			commBody = append(commBody, scratch...)
+			commElems += uint64(len(r.Communities))
+		}
+		commIdx[i] = idx
+
+		scratch = scratch[:0]
+		scratch = appendSliceHeader(scratch, len(r.ExtCommunities), r.ExtCommunities == nil)
+		for _, e := range r.ExtCommunities {
+			scratch = append(scratch, e[:]...)
+		}
+		if idx, isNew = extTab.intern(scratch); isNew {
+			extBody = append(extBody, scratch...)
+			extElems += uint64(len(r.ExtCommunities))
+		}
+		extIdx[i] = idx
+
+		scratch = scratch[:0]
+		scratch = appendSliceHeader(scratch, len(r.LargeCommunities), r.LargeCommunities == nil)
+		for _, l := range r.LargeCommunities {
+			scratch = appendUvarint(scratch, uint64(l.Global))
+			scratch = appendUvarint(scratch, uint64(l.Local1))
+			scratch = appendUvarint(scratch, uint64(l.Local2))
+		}
+		if idx, isNew = largeTab.intern(scratch); isNew {
+			largeBody = append(largeBody, scratch...)
+			largeElems += uint64(len(r.LargeCommunities))
+		}
+		largeIdx[i] = idx
+	}
+	codecTel().interned("nexthop", nhTab.hits, nhTab.misses)
+	codecTel().interned("aspath", pathTab.hits, pathTab.misses)
+	codecTel().interned("community", commTab.hits, commTab.misses)
+	codecTel().interned("extcommunity", extTab.hits, extTab.misses)
+	codecTel().interned("largecommunity", largeTab.hits, largeTab.misses)
+
+	// Intern tables. Element totals precede the slice tables so the
+	// decoder can size each arena slab with a single allocation.
+	buf = appendUvarint(buf, uint64(len(nhTab.idx)))
+	buf = append(buf, nhBody...)
+	buf = appendUvarint(buf, uint64(len(pathTab.idx)))
+	buf = appendUvarint(buf, pathElems)
+	buf = append(buf, pathBody...)
+	buf = appendUvarint(buf, uint64(len(commTab.idx)))
+	buf = appendUvarint(buf, commElems)
+	buf = append(buf, commBody...)
+	buf = appendUvarint(buf, uint64(len(extTab.idx)))
+	buf = appendUvarint(buf, extElems)
+	buf = append(buf, extBody...)
+	buf = appendUvarint(buf, uint64(len(largeTab.idx)))
+	buf = appendUvarint(buf, largeElems)
+	buf = append(buf, largeBody...)
+
+	// Columns, each byte-length-prefixed so a reader can set up
+	// per-column cursors without a parsing pre-pass.
+	var col, prev []byte
+
+	// Prefix column, front-coded against the previous row.
+	for i := range routes {
+		scratch = appendPrefix(scratch[:0], routes[i].Prefix)
+		shared := commonPrefixLen(prev, scratch)
+		col = appendUvarint(col, uint64(shared))
+		col = appendUvarint(col, uint64(len(scratch)-shared))
+		col = append(col, scratch[shared:]...)
+		prev = append(prev[:0], scratch...)
+	}
+	buf = appendColumn(buf, col)
+
+	col = appendIndexColumn(col[:0], nhIdx)
+	buf = appendColumn(buf, col)
+	col = appendIndexColumn(col[:0], pathIdx)
+	buf = appendColumn(buf, col)
+
+	// Origin / MED / LocalPref columns are run-length encoded: route
+	// servers leave them at a handful of values, so whole snapshots
+	// collapse to a few (run, value) pairs.
+	col = col[:0]
+	for i := 0; i < len(routes); {
+		j := i
+		for j < len(routes) && routes[j].Origin == routes[i].Origin {
+			j++
+		}
+		col = appendUvarint(col, uint64(j-i))
+		col = appendUvarint(col, uint64(routes[i].Origin))
+		i = j
+	}
+	buf = appendColumn(buf, col)
+	col = col[:0]
+	for i := 0; i < len(routes); {
+		j := i
+		for j < len(routes) && routes[j].MED == routes[i].MED {
+			j++
+		}
+		col = appendUvarint(col, uint64(j-i))
+		col = appendUvarint(col, uint64(routes[i].MED))
+		i = j
+	}
+	buf = appendColumn(buf, col)
+	col = col[:0]
+	for i := 0; i < len(routes); {
+		j := i
+		for j < len(routes) && routes[j].LocalPref == routes[i].LocalPref {
+			j++
+		}
+		col = appendUvarint(col, uint64(j-i))
+		col = appendUvarint(col, uint64(routes[i].LocalPref))
+		i = j
+	}
+	buf = appendColumn(buf, col)
+
+	col = appendIndexColumn(col[:0], commIdx)
+	buf = appendColumn(buf, col)
+	col = appendIndexColumn(col[:0], extIdx)
+	buf = appendColumn(buf, col)
+	col = appendIndexColumn(col[:0], largeIdx)
+	buf = appendColumn(buf, col)
+	return buf
+}
+
+// appendColumn writes one byte-length-prefixed column.
+func appendColumn(buf, col []byte) []byte {
+	buf = appendUvarint(buf, uint64(len(col)))
+	return append(buf, col...)
+}
+
+// appendIndexColumn writes one table-index column.
+func appendIndexColumn(col []byte, idx []uint64) []byte {
+	for _, v := range idx {
+		col = appendUvarint(col, v)
+	}
+	return col
+}
+
+// appendAddr writes a length-prefixed address in
+// netip.Addr.MarshalBinary form (0 bytes invalid, 4 v4, 16 v6,
+// 16+zone for zoned), which UnmarshalBinary reverses exactly —
+// including 4-in-6 mapped forms.
+func appendAddr(b []byte, a netip.Addr) []byte {
+	raw, _ := a.MarshalBinary() // cannot fail
+	b = appendUvarint(b, uint64(len(raw)))
+	return append(b, raw...)
+}
+
+// appendPrefix writes a prefix as its address bytes (length-prefixed,
+// zone-free by netip.Prefix construction) followed by one bits byte;
+// 0xFF encodes the invalid bits value -1.
+func appendPrefix(b []byte, p netip.Prefix) []byte {
+	b = appendAddr(b, p.Addr())
+	return append(b, byte(p.Bits()))
+}
+
+// commonPrefixLen returns the length of the longest common prefix of
+// a and b.
+func commonPrefixLen(a, b []byte) int {
+	n := min(len(a), len(b))
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		x := binary.LittleEndian.Uint64(a[i:]) ^ binary.LittleEndian.Uint64(b[i:])
+		if x != 0 {
+			return i + bits.TrailingZeros64(x)/8
+		}
+	}
+	for ; i < n; i++ {
+		if a[i] != b[i] {
+			break
+		}
+	}
+	return i
+}
+
+// --- decoding ------------------------------------------------------------
+
+// breader is a bounds-checked cursor over an encoded snapshot.
+type breader struct {
+	b   []byte
+	off int
+}
+
+func (r *breader) remaining() int { return len(r.b) - r.off }
+
+// uvarint is the decoder's hottest call (every index, count, length
+// and column value goes through it), so the LEB128 loop is written
+// out here instead of calling binary.Uvarint: the single-byte case
+// returns immediately, and the general loop avoids re-slicing r.b on
+// every call. Semantics match binary.Uvarint, with truncation and
+// >64-bit overflow both reported as errBinaryTruncated.
+func (r *breader) uvarint() (uint64, error) {
+	b, i := r.b, r.off
+	if i < len(b) && b[i] < 0x80 {
+		r.off = i + 1
+		return uint64(b[i]), nil
+	}
+	var v uint64
+	for s := uint(0); s < 64; s += 7 {
+		if i >= len(b) {
+			return 0, errBinaryTruncated
+		}
+		c := b[i]
+		i++
+		if c < 0x80 {
+			if s == 63 && c > 1 {
+				return 0, errBinaryTruncated // value overflows uint64
+			}
+			r.off = i
+			return v | uint64(c)<<s, nil
+		}
+		v |= uint64(c&0x7f) << s
+	}
+	return 0, errBinaryTruncated // varint longer than 10 bytes
+}
+
+func (r *breader) svarint() (int64, error) {
+	v, n := binary.Varint(r.b[r.off:])
+	if n <= 0 {
+		return 0, errBinaryTruncated
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *breader) byte() (byte, error) {
+	if r.off >= len(r.b) {
+		return 0, errBinaryTruncated
+	}
+	b := r.b[r.off]
+	r.off++
+	return b, nil
+}
+
+func (r *breader) bytes(n int) ([]byte, error) {
+	if n < 0 || r.remaining() < n {
+		return nil, errBinaryTruncated
+	}
+	b := r.b[r.off : r.off+n]
+	r.off += n
+	return b, nil
+}
+
+func (r *breader) string() (string, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return "", err
+	}
+	b, err := r.bytes(int(n))
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// sliceHeader reverses appendSliceHeader. The returned length is
+// bounded by the remaining bytes (each element costs at least one
+// byte), so a corrupt count cannot trigger a huge allocation.
+func (r *breader) sliceHeader() (n int, isNil bool, err error) {
+	v, err := r.uvarint()
+	if err != nil {
+		return 0, false, err
+	}
+	if v == 0 {
+		return 0, true, nil
+	}
+	n = int(v - 1)
+	if n < 0 || n > r.remaining() {
+		return 0, false, errBinaryTruncated
+	}
+	return n, false, nil
+}
+
+// count reads a table/element count with the same remaining-bytes
+// bound as sliceHeader.
+func (r *breader) count() (int, error) {
+	v, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	n := int(v)
+	if n < 0 || n > r.remaining() {
+		return 0, errBinaryTruncated
+	}
+	return n, nil
+}
+
+func (r *breader) addr() (netip.Addr, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return netip.Addr{}, err
+	}
+	raw, err := r.bytes(int(n))
+	if err != nil {
+		return netip.Addr{}, err
+	}
+	var a netip.Addr
+	if err := a.UnmarshalBinary(raw); err != nil {
+		return netip.Addr{}, fmt.Errorf("collector: binary snapshot: %w", err)
+	}
+	return a, nil
+}
+
+// decodeBinaryHeader parses the magic, version and length-prefixed
+// header section, leaving the cursor at the route block.
+func decodeBinaryHeader(r *breader) (*Snapshot, error) {
+	magic, err := r.bytes(len(binaryMagic))
+	if err != nil || string(magic) != binaryMagic {
+		return nil, errors.New("collector: not a binary snapshot (bad magic)")
+	}
+	version, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if version != binaryVersion {
+		return nil, fmt.Errorf("collector: unsupported binary snapshot version %d (want %d)", version, binaryVersion)
+	}
+	hdrLen, err := r.count()
+	if err != nil {
+		return nil, err
+	}
+	hdr, err := r.bytes(hdrLen)
+	if err != nil {
+		return nil, err
+	}
+	s, err := decodeHeaderSection(&breader{b: hdr})
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// decodeHeaderSection parses the header bytes (everything between the
+// length prefix and the route block). The section must be consumed
+// exactly — trailing bytes mean a corrupt length prefix.
+func decodeHeaderSection(r *breader) (*Snapshot, error) {
+	s := &Snapshot{}
+	var err error
+	if s.IXP, err = r.string(); err != nil {
+		return nil, err
+	}
+	if s.Date, err = r.string(); err != nil {
+		return nil, err
+	}
+	fc, err := r.svarint()
+	if err != nil {
+		return nil, err
+	}
+	s.FilteredCount = int(fc)
+	flags, err := r.byte()
+	if err != nil {
+		return nil, err
+	}
+	s.Partial = flags&1 != 0
+
+	n, isNil, err := r.sliceHeader()
+	if err != nil {
+		return nil, err
+	}
+	if !isNil {
+		s.Members = make([]Member, n)
+		for i := range s.Members {
+			m := &s.Members[i]
+			asn, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			m.ASN = uint32(asn)
+			if m.Name, err = r.string(); err != nil {
+				return nil, err
+			}
+			mf, err := r.byte()
+			if err != nil {
+				return nil, err
+			}
+			m.IPv4, m.IPv6 = mf&1 != 0, mf&2 != 0
+		}
+	}
+	n, isNil, err = r.sliceHeader()
+	if err != nil {
+		return nil, err
+	}
+	if !isNil {
+		s.MemberErrors = make([]MemberError, n)
+		for i := range s.MemberErrors {
+			e := &s.MemberErrors[i]
+			asn, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			e.ASN = uint32(asn)
+			if e.Stage, err = r.string(); err != nil {
+				return nil, err
+			}
+			if e.Err, err = r.string(); err != nil {
+				return nil, err
+			}
+			attempts, err := r.svarint()
+			if err != nil {
+				return nil, err
+			}
+			e.Attempts = int(attempts)
+		}
+	}
+	if r.remaining() != 0 {
+		return nil, errBinaryTruncated
+	}
+	return s, nil
+}
+
+// binaryRoutes is a decoded route block positioned before the first
+// route: intern tables materialised into arena-backed slices plus one
+// sequential cursor per column. next() yields routes in order.
+type binaryRoutes struct {
+	n     int
+	isNil bool
+
+	nexthops []netip.Addr
+	paths    []bgp.ASPath
+	comms    [][]bgp.Community
+	exts     [][]bgp.ExtendedCommunity
+	larges   [][]bgp.LargeCommunity
+
+	prefixCol, nhCol, pathCol breader
+	originCol, medCol, lpCol  breader
+	commCol, extCol, largeCol breader
+	originRun, medRun, lpRun  uint64
+	originVal, medVal, lpVal  uint64
+	prefixPrev                []byte
+}
+
+// decodeBinaryRoutes parses the route block that follows the header.
+func decodeBinaryRoutes(r *breader) (*binaryRoutes, error) {
+	rb := &binaryRoutes{}
+	var err error
+	if rb.n, rb.isNil, err = r.sliceHeader(); err != nil {
+		return nil, err
+	}
+
+	// Next-hop table.
+	nhCount, err := r.count()
+	if err != nil {
+		return nil, err
+	}
+	rb.nexthops = make([]netip.Addr, nhCount)
+	for i := range rb.nexthops {
+		if rb.nexthops[i], err = r.addr(); err != nil {
+			return nil, err
+		}
+	}
+
+	// AS-path table: every path's elements live in one uint32 slab.
+	pathCount, err := r.count()
+	if err != nil {
+		return nil, err
+	}
+	pathElems, err := r.count()
+	if err != nil {
+		return nil, err
+	}
+	pathSlab := make([]uint32, 0, pathElems)
+	rb.paths = make([]bgp.ASPath, pathCount)
+	for i := range rb.paths {
+		n, isNil, err := r.sliceHeader()
+		if err != nil {
+			return nil, err
+		}
+		if isNil {
+			continue
+		}
+		if len(pathSlab)+n > cap(pathSlab) {
+			return nil, errBinaryTruncated
+		}
+		start := len(pathSlab)
+		for j := 0; j < n; j++ {
+			v, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			pathSlab = append(pathSlab, uint32(v))
+		}
+		rb.paths[i] = bgp.ASPath(pathSlab[start:len(pathSlab):len(pathSlab)])
+	}
+
+	// Standard-community set table, same slab scheme.
+	commCount, err := r.count()
+	if err != nil {
+		return nil, err
+	}
+	commElems, err := r.count()
+	if err != nil {
+		return nil, err
+	}
+	commSlab := make([]bgp.Community, 0, commElems)
+	rb.comms = make([][]bgp.Community, commCount)
+	for i := range rb.comms {
+		n, isNil, err := r.sliceHeader()
+		if err != nil {
+			return nil, err
+		}
+		if isNil {
+			continue
+		}
+		if len(commSlab)+n > cap(commSlab) {
+			return nil, errBinaryTruncated
+		}
+		start := len(commSlab)
+		for j := 0; j < n; j++ {
+			v, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			commSlab = append(commSlab, bgp.Community(v))
+		}
+		rb.comms[i] = commSlab[start:len(commSlab):len(commSlab)]
+	}
+
+	// Extended-community set table.
+	extCount, err := r.count()
+	if err != nil {
+		return nil, err
+	}
+	extElems, err := r.count()
+	if err != nil {
+		return nil, err
+	}
+	extSlab := make([]bgp.ExtendedCommunity, 0, extElems)
+	rb.exts = make([][]bgp.ExtendedCommunity, extCount)
+	for i := range rb.exts {
+		n, isNil, err := r.sliceHeader()
+		if err != nil {
+			return nil, err
+		}
+		if isNil {
+			continue
+		}
+		if len(extSlab)+n > cap(extSlab) {
+			return nil, errBinaryTruncated
+		}
+		start := len(extSlab)
+		for j := 0; j < n; j++ {
+			raw, err := r.bytes(8)
+			if err != nil {
+				return nil, err
+			}
+			extSlab = append(extSlab, bgp.ExtendedCommunity(raw))
+		}
+		rb.exts[i] = extSlab[start:len(extSlab):len(extSlab)]
+	}
+
+	// Large-community set table.
+	largeCount, err := r.count()
+	if err != nil {
+		return nil, err
+	}
+	largeElems, err := r.count()
+	if err != nil {
+		return nil, err
+	}
+	largeSlab := make([]bgp.LargeCommunity, 0, largeElems)
+	rb.larges = make([][]bgp.LargeCommunity, largeCount)
+	for i := range rb.larges {
+		n, isNil, err := r.sliceHeader()
+		if err != nil {
+			return nil, err
+		}
+		if isNil {
+			continue
+		}
+		if len(largeSlab)+n > cap(largeSlab) {
+			return nil, errBinaryTruncated
+		}
+		start := len(largeSlab)
+		for j := 0; j < n; j++ {
+			g, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			l1, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			l2, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			largeSlab = append(largeSlab, bgp.LargeCommunity{
+				Global: uint32(g), Local1: uint32(l1), Local2: uint32(l2),
+			})
+		}
+		rb.larges[i] = largeSlab[start:len(largeSlab):len(largeSlab)]
+	}
+
+	// Column cursors.
+	for _, col := range []*breader{
+		&rb.prefixCol, &rb.nhCol, &rb.pathCol,
+		&rb.originCol, &rb.medCol, &rb.lpCol,
+		&rb.commCol, &rb.extCol, &rb.largeCol,
+	} {
+		n, err := r.count()
+		if err != nil {
+			return nil, err
+		}
+		raw, err := r.bytes(n)
+		if err != nil {
+			return nil, err
+		}
+		col.b = raw
+	}
+	return rb, nil
+}
+
+// tableEntry bounds-checks one column index against its intern table.
+func tableLookup[T any](col *breader, table []T) (T, error) {
+	var zero T
+	idx, err := col.uvarint()
+	if err != nil {
+		return zero, err
+	}
+	if idx >= uint64(len(table)) {
+		return zero, errBinaryTruncated
+	}
+	return table[idx], nil
+}
+
+// rle advances one run-length-encoded column cursor.
+func rle(col *breader, run, val *uint64) (uint64, error) {
+	if *run == 0 {
+		var err error
+		if *run, err = col.uvarint(); err != nil {
+			return 0, err
+		}
+		if *run == 0 {
+			return 0, errBinaryTruncated
+		}
+		if *val, err = col.uvarint(); err != nil {
+			return 0, err
+		}
+	}
+	*run--
+	return *val, nil
+}
+
+// next decodes the next route. Callers invoke it exactly rb.n times.
+func (rb *binaryRoutes) next() (bgp.Route, error) {
+	var r bgp.Route
+
+	// Prefix: front-coded bytes, then address + bits byte.
+	shared, err := rb.prefixCol.uvarint()
+	if err != nil {
+		return r, err
+	}
+	suffixLen, err := rb.prefixCol.uvarint()
+	if err != nil {
+		return r, err
+	}
+	if shared > uint64(len(rb.prefixPrev)) {
+		return r, errBinaryTruncated
+	}
+	suffix, err := rb.prefixCol.bytes(int(suffixLen))
+	if err != nil {
+		return r, err
+	}
+	rb.prefixPrev = append(rb.prefixPrev[:shared], suffix...)
+	pr := breader{b: rb.prefixPrev}
+	addr, err := pr.addr()
+	if err != nil {
+		return r, err
+	}
+	bitsByte, err := pr.byte()
+	if err != nil || pr.remaining() != 0 {
+		return r, errBinaryTruncated
+	}
+	routeBits := int(bitsByte)
+	if bitsByte == 0xFF {
+		routeBits = -1
+	}
+	r.Prefix = netip.PrefixFrom(addr, routeBits)
+
+	if r.NextHop, err = tableLookup(&rb.nhCol, rb.nexthops); err != nil {
+		return r, err
+	}
+	if r.ASPath, err = tableLookup(&rb.pathCol, rb.paths); err != nil {
+		return r, err
+	}
+
+	origin, err := rle(&rb.originCol, &rb.originRun, &rb.originVal)
+	if err != nil {
+		return r, err
+	}
+	r.Origin = bgp.Origin(origin)
+	med, err := rle(&rb.medCol, &rb.medRun, &rb.medVal)
+	if err != nil {
+		return r, err
+	}
+	r.MED = uint32(med)
+	lp, err := rle(&rb.lpCol, &rb.lpRun, &rb.lpVal)
+	if err != nil {
+		return r, err
+	}
+	r.LocalPref = uint32(lp)
+
+	if r.Communities, err = tableLookup(&rb.commCol, rb.comms); err != nil {
+		return r, err
+	}
+	if r.ExtCommunities, err = tableLookup(&rb.extCol, rb.exts); err != nil {
+		return r, err
+	}
+	if r.LargeCommunities, err = tableLookup(&rb.largeCol, rb.larges); err != nil {
+		return r, err
+	}
+	return r, nil
+}
+
+// decodeBinarySnapshot decodes a complete CodecBinary snapshot.
+func decodeBinarySnapshot(data []byte) (*Snapshot, error) {
+	r := &breader{b: data}
+	s, err := decodeBinaryHeader(r)
+	if err != nil {
+		return nil, err
+	}
+	rb, err := decodeBinaryRoutes(r)
+	if err != nil {
+		return nil, err
+	}
+	if !rb.isNil {
+		s.Routes = make([]bgp.Route, rb.n)
+		for i := range s.Routes {
+			if s.Routes[i], err = rb.next(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return s, nil
+}

@@ -86,7 +86,7 @@ func TestSnapshotAccessors(t *testing.T) {
 
 func TestAllCodecsRoundTrip(t *testing.T) {
 	s := sampleSnapshot()
-	for _, codec := range []Codec{CodecJSON, CodecJSONGzip, CodecGob, CodecGobGzip} {
+	for _, codec := range Codecs() {
 		t.Run(codec.String(), func(t *testing.T) {
 			var buf bytes.Buffer
 			if err := WriteSnapshot(&buf, s, codec); err != nil {
@@ -129,7 +129,7 @@ func TestGzipSmallerThanPlain(t *testing.T) {
 func TestSaveLoadSnapshotFiles(t *testing.T) {
 	s := sampleSnapshot()
 	dir := t.TempDir()
-	for _, codec := range []Codec{CodecJSON, CodecJSONGzip, CodecGob, CodecGobGzip} {
+	for _, codec := range Codecs() {
 		path, err := SaveSnapshot(dir, s, codec)
 		if err != nil {
 			t.Fatalf("%v: %v", codec, err)
@@ -146,7 +146,7 @@ func TestSaveLoadSnapshotFiles(t *testing.T) {
 		}
 	}
 	entries, err := os.ReadDir(dir)
-	if err != nil || len(entries) != 4 {
+	if err != nil || len(entries) != len(Codecs()) {
 		t.Errorf("dir entries = %d (%v)", len(entries), err)
 	}
 }

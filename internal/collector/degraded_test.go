@@ -345,7 +345,7 @@ func TestPartialSnapshotRoundTrip(t *testing.T) {
 		{ASN: 400, Stage: StageSkipped, Err: "error budget exhausted"},
 	}
 	s.Normalize()
-	for _, codec := range []Codec{CodecJSON, CodecJSONGzip, CodecGob, CodecGobGzip} {
+	for _, codec := range Codecs() {
 		t.Run(codec.String(), func(t *testing.T) {
 			var buf bytes.Buffer
 			if err := WriteSnapshot(&buf, s, codec); err != nil {

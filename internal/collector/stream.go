@@ -1,0 +1,296 @@
+package collector
+
+import (
+	"bufio"
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"ixplight/internal/bgp"
+)
+
+// SnapshotReader is the streaming read path over a snapshot file:
+// Header() answers the IXP/date/member-list/partial metadata without
+// decoding routes, and ForEachRoute visits routes one at a time
+// without materialising a []bgp.Route. For CodecBinary files only the
+// header section is parsed at open time; the other codecs cannot be
+// partially decoded (their reflection decoders produce the whole
+// value at once), so OpenSnapshot falls back to an eager full decode
+// and serves the same interface over it.
+type SnapshotReader struct {
+	codec  Codec
+	closer io.Closer
+
+	// Binary streaming state.
+	br       *bufio.Reader
+	header   *Snapshot
+	rb       *binaryRoutes
+	counter  *countingReader
+	size     int64 // total encoded size when known (file stat), else -1
+	consumed bool
+
+	// Eager fallback for the non-binary codecs, and the cache once
+	// Snapshot() has materialised a binary file.
+	full *Snapshot
+}
+
+// OpenSnapshot opens a snapshot file for streaming reads, deducing
+// the codec from the file extension with a magic-byte and content
+// sniff for unknown extensions (so renamed or extensionless files
+// still load). The caller must Close the reader.
+func OpenSnapshot(path string) (*SnapshotReader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	sr, err := NewSnapshotReader(f, path)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	sr.closer = f
+	if fi, err := f.Stat(); err == nil && fi.Mode().IsRegular() {
+		sr.size = fi.Size()
+	}
+	return sr, nil
+}
+
+// NewSnapshotReader is OpenSnapshot over any reader. pathHint may be
+// empty; when it carries a known snapshot extension the codec is
+// taken from it, otherwise the content is sniffed. The caller owns r;
+// Close only closes what OpenSnapshot itself opened.
+func NewSnapshotReader(r io.Reader, pathHint string) (*SnapshotReader, error) {
+	counter := &countingReader{r: r}
+	br := bufio.NewReaderSize(counter, 1<<16)
+	codec, err := detectCodec(br, pathHint)
+	if err != nil {
+		return nil, err
+	}
+	sr := &SnapshotReader{codec: codec, br: br, counter: counter, size: -1}
+	if codec != CodecBinary {
+		// Eager fallback: decode everything now, stream from memory.
+		tel := codecTel()
+		t0 := tel.now()
+		full, err := readSnapshot(br, codec)
+		if err != nil {
+			return nil, err
+		}
+		tel.decoded(codec, t0, counter.n, len(full.Routes))
+		sr.full = full
+		sr.header = headerOnly(full)
+		return sr, nil
+	}
+	// Binary: parse magic + version + the length-prefixed header
+	// section only.
+	head, err := readBinaryPreamble(br)
+	if err != nil {
+		return nil, err
+	}
+	sr.header = head
+	return sr, nil
+}
+
+// readBinaryPreamble consumes the magic, version and header section
+// from a buffered binary stream.
+func readBinaryPreamble(br *bufio.Reader) (*Snapshot, error) {
+	var magic [len(binaryMagic)]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil || string(magic[:]) != binaryMagic {
+		return nil, fmt.Errorf("collector: not a binary snapshot (bad magic)")
+	}
+	version, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, errBinaryTruncated
+	}
+	if version != binaryVersion {
+		return nil, fmt.Errorf("collector: unsupported binary snapshot version %d (want %d)", version, binaryVersion)
+	}
+	hdrLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, errBinaryTruncated
+	}
+	const maxHeader = 1 << 30 // corrupt length-prefix guard
+	if hdrLen > maxHeader {
+		return nil, errBinaryTruncated
+	}
+	hdr := make([]byte, hdrLen)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, errBinaryTruncated
+	}
+	return decodeHeaderSection(&breader{b: hdr})
+}
+
+// Codec reports the codec the file was detected as.
+func (sr *SnapshotReader) Codec() Codec { return sr.codec }
+
+// Header returns the snapshot metadata — IXP, date, members, filtered
+// count, partial flag and member errors — with Routes left nil. The
+// returned value is shared; callers must not mutate it.
+func (sr *SnapshotReader) Header() *Snapshot { return sr.header }
+
+// blockHint estimates the unread byte count — file size (or the
+// source reader's own Len) minus what the counter has consumed, plus
+// what sits in the bufio buffer — so loadBlock can allocate the route
+// block in one shot instead of through io.ReadAll's doubling growth.
+func (sr *SnapshotReader) blockHint() int {
+	rem := -1
+	if sr.size >= 0 {
+		rem = int(sr.size - sr.counter.n)
+	} else if n := sr.counter.Len(); n >= 0 {
+		rem = n
+	}
+	if rem < 0 {
+		return -1
+	}
+	return rem + sr.br.Buffered()
+}
+
+// loadBlock reads and parses the binary route block: intern tables
+// into arena slabs, column cursors positioned at route zero.
+func (sr *SnapshotReader) loadBlock() error {
+	if sr.rb != nil {
+		return nil
+	}
+	rest, err := readAllHint(sr.br, sr.blockHint())
+	if err != nil {
+		return err
+	}
+	rb, err := decodeBinaryRoutes(&breader{b: rest})
+	if err != nil {
+		return err
+	}
+	sr.rb = rb
+	return nil
+}
+
+// ForEachRoute decodes routes in file order, calling fn for each; a
+// non-nil error from fn stops the walk and is returned. On a binary
+// file the routes are decoded one at a time straight off the columns
+// — no []bgp.Route is ever materialised — so a dataset-wide scan
+// holds one route plus the intern tables, not the whole snapshot.
+// The column walk is single-shot: call ForEachRoute once, or use
+// Snapshot() when the full slice is needed. Decoded routes alias the
+// snapshot's interned tables; treat them as immutable (Clone before
+// mutating), the contract every snapshot consumer already follows.
+func (sr *SnapshotReader) ForEachRoute(fn func(bgp.Route) error) error {
+	if sr.full != nil {
+		for i := range sr.full.Routes {
+			if err := fn(sr.full.Routes[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if sr.consumed {
+		return fmt.Errorf("collector: snapshot route block already consumed")
+	}
+	if err := sr.loadBlock(); err != nil {
+		return err
+	}
+	sr.consumed = true
+	tel := codecTel()
+	t0 := tel.now()
+	if !sr.rb.isNil {
+		for i := 0; i < sr.rb.n; i++ {
+			r, err := sr.rb.next()
+			if err != nil {
+				return err
+			}
+			if err := fn(r); err != nil {
+				return err
+			}
+		}
+	}
+	tel.decoded(CodecBinary, t0, sr.counter.n, sr.rb.n)
+	return nil
+}
+
+// Snapshot materialises the complete snapshot (header + routes).
+func (sr *SnapshotReader) Snapshot() (*Snapshot, error) {
+	if sr.full != nil {
+		return sr.full, nil
+	}
+	if sr.consumed {
+		return nil, fmt.Errorf("collector: snapshot route block already consumed")
+	}
+	if err := sr.loadBlock(); err != nil {
+		return nil, err
+	}
+	sr.consumed = true
+	tel := codecTel()
+	t0 := tel.now()
+	s := *sr.header
+	if !sr.rb.isNil {
+		s.Routes = make([]bgp.Route, sr.rb.n)
+		for i := range s.Routes {
+			var err error
+			if s.Routes[i], err = sr.rb.next(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	sr.full = &s
+	tel.decoded(CodecBinary, t0, sr.counter.n, len(s.Routes))
+	return sr.full, nil
+}
+
+// Close releases the underlying file (no-op for NewSnapshotReader).
+func (sr *SnapshotReader) Close() error {
+	if sr.closer == nil {
+		return nil
+	}
+	return sr.closer.Close()
+}
+
+// headerOnly shallow-copies a snapshot with its Routes detached.
+func headerOnly(s *Snapshot) *Snapshot {
+	h := *s
+	h.Routes = nil
+	return &h
+}
+
+// detectCodec deduces a snapshot file's codec: a known extension wins
+// (SaveSnapshot always writes one), then the CodecBinary magic, then
+// a content sniff that distinguishes JSON, gob and their gzip forms.
+func detectCodec(br *bufio.Reader, path string) (Codec, error) {
+	switch {
+	case hasSuffix(path, ".json.gz"):
+		return CodecJSONGzip, nil
+	case hasSuffix(path, ".json"):
+		return CodecJSON, nil
+	case hasSuffix(path, ".gob.gz"):
+		return CodecGobGzip, nil
+	case hasSuffix(path, ".gob"):
+		return CodecGob, nil
+	case hasSuffix(path, ".bin"):
+		return CodecBinary, nil
+	}
+	head, err := br.Peek(4)
+	if len(head) == 0 {
+		return 0, fmt.Errorf("collector: cannot detect snapshot codec: %w", err)
+	}
+	if string(head) == binaryMagic {
+		return CodecBinary, nil
+	}
+	if head[0] == '{' {
+		return CodecJSON, nil
+	}
+	if len(head) >= 2 && head[0] == 0x1f && head[1] == 0x8b {
+		// Gzip: peek a window and sniff the decompressed first byte.
+		chunk, _ := br.Peek(4096)
+		zr, err := gzip.NewReader(bytes.NewReader(chunk))
+		if err != nil {
+			return 0, fmt.Errorf("collector: cannot detect snapshot codec: %w", err)
+		}
+		var first [1]byte
+		n, _ := zr.Read(first[:])
+		zr.Close()
+		if n == 1 && first[0] == '{' {
+			return CodecJSONGzip, nil
+		}
+		return CodecGobGzip, nil
+	}
+	return CodecGob, nil
+}

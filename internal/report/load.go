@@ -1,0 +1,83 @@
+package report
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"slices"
+	"strings"
+
+	"ixplight/internal/collector"
+	"ixplight/internal/mrt"
+)
+
+// LoadSnapshotDir replaces the lab's generated snapshots with stored
+// files from dir: every regular file is decoded (codec deduced per
+// file, so a directory may mix json/gob/binary/MRT freely), the full
+// date-ordered series per IXP feeds the temporal experiments, and the
+// latest snapshot per IXP becomes the point-in-time input. Files are
+// decoded across the lab's worker pool; the resulting series order is
+// deterministic regardless of worker interleaving because it is
+// re-sorted by date.
+func (l *Lab) LoadSnapshotDir(dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			files = append(files, e.Name())
+		}
+	}
+	snaps := make([]*collector.Snapshot, len(files))
+	if _, err := runPool(len(files), l.workers(), func(i int) error {
+		path := filepath.Join(dir, files[i])
+		var snap *collector.Snapshot
+		var err error
+		if strings.HasSuffix(files[i], ".mrt") {
+			snap, err = loadMRTFile(path)
+		} else {
+			snap, err = loadSnapshotFile(path)
+		}
+		if err != nil {
+			return fmt.Errorf("load %s: %w", files[i], err)
+		}
+		snaps[i] = snap
+		return nil
+	}); err != nil {
+		return err
+	}
+	l.Series = make(map[string][]*collector.Snapshot)
+	for _, snap := range snaps {
+		l.Series[snap.IXP] = append(l.Series[snap.IXP], snap)
+	}
+	for ixp, series := range l.Series {
+		slices.SortStableFunc(series, func(a, b *collector.Snapshot) int {
+			return strings.Compare(a.Date, b.Date)
+		})
+		l.Snapshots[ixp] = series[len(series)-1]
+	}
+	return nil
+}
+
+// loadSnapshotFile decodes one native snapshot file through the
+// streaming reader, so the codec is deduced from the extension or the
+// file's magic bytes.
+func loadSnapshotFile(path string) (*collector.Snapshot, error) {
+	sr, err := collector.OpenSnapshot(path)
+	if err != nil {
+		return nil, err
+	}
+	defer sr.Close()
+	return sr.Snapshot()
+}
+
+func loadMRTFile(path string) (*collector.Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return mrt.ReadRIB(f)
+}

@@ -1,0 +1,100 @@
+package report
+
+import (
+	"bytes"
+	"testing"
+
+	"ixplight/internal/collector"
+	"ixplight/internal/ixpgen"
+)
+
+// TestLoadSnapshotDirCodecIndependence pins the analyze acceptance
+// contract: running the experiment battery over a binary-encoded
+// snapshot directory produces byte-identical output to running it
+// over the same snapshots stored as JSON. The two labs share one
+// generated series; only the on-disk codec differs.
+func TestLoadSnapshotDirCodecIndependence(t *testing.T) {
+	const (
+		seed  = 42
+		scale = 0.004
+		days  = 3
+	)
+	profiles := ixpgen.BigFour()[:2]
+	jsonDir := t.TempDir()
+	binDir := t.TempDir()
+	for _, p := range profiles {
+		opts := ixpgen.TemporalOptions{Seed: seed, Scale: scale, Days: days}
+		for d := 0; d < days; d++ {
+			w, date, err := ixpgen.GenerateDay(p, opts, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			snap := w.Snapshot(date)
+			if _, err := collector.SaveSnapshot(jsonDir, snap, collector.CodecJSON); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := collector.SaveSnapshot(binDir, snap, collector.CodecBinary); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	run := func(dir string) [][]byte {
+		lab, err := NewLabParallel(profiles, seed, scale, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := lab.LoadSnapshotDir(dir); err != nil {
+			t.Fatal(err)
+		}
+		outs, err := lab.RunMany(ExperimentNames)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return outs
+	}
+	jsonOuts := run(jsonDir)
+	binOuts := run(binDir)
+	for i := range jsonOuts {
+		if !bytes.Equal(jsonOuts[i], binOuts[i]) {
+			t.Errorf("%s: output differs between JSON and binary snapshot dirs", ExperimentNames[i])
+		}
+	}
+}
+
+// TestLoadSnapshotDirSeries checks the loader's shape contract:
+// per-IXP series sorted by date, latest snapshot promoted to the
+// point-in-time slot, mixed codecs in one directory.
+func TestLoadSnapshotDirSeries(t *testing.T) {
+	dir := t.TempDir()
+	mk := func(ixp, date string) *collector.Snapshot {
+		return &collector.Snapshot{IXP: ixp, Date: date}
+	}
+	for _, c := range []struct {
+		s     *collector.Snapshot
+		codec collector.Codec
+	}{
+		{mk("LINX", "2021-10-06"), collector.CodecBinary},
+		{mk("LINX", "2021-10-04"), collector.CodecJSON},
+		{mk("LINX", "2021-10-05"), collector.CodecGobGzip},
+		{mk("DE-CIX", "2021-10-04"), collector.CodecBinary},
+	} {
+		if _, err := collector.SaveSnapshot(dir, c.s, c.codec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lab, err := NewLabParallel(ixpgen.BigFour()[:1], 1, 0.002, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lab.LoadSnapshotDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	linx := lab.Series["LINX"]
+	if len(linx) != 3 || linx[0].Date != "2021-10-04" || linx[2].Date != "2021-10-06" {
+		t.Errorf("LINX series wrong: %+v", linx)
+	}
+	if lab.Snapshots["LINX"].Date != "2021-10-06" || lab.Snapshots["DE-CIX"].Date != "2021-10-04" {
+		t.Errorf("latest promotion wrong")
+	}
+}
