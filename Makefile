@@ -6,9 +6,9 @@
 GO ?= go
 BENCH_DATE := $(shell date +%Y%m%d)
 
-.PHONY: check vet build test race bench
+.PHONY: check vet build test race bench soak soak-long
 
-check: vet build race
+check: vet build race soak
 
 # vet runs the stock analyzers plus metriclint, which pins the metric
 # naming contract: every family registered on a telemetry.Registry is
@@ -25,6 +25,18 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# soak is the quick deterministic chaos run: 3 simulated IXPs on real
+# sockets, 2 servers killed and restarted mid-crawl, every robustness
+# invariant checked (see internal/soak). Seeded, so a failure here is
+# replayable with the same command. Finishes in a few seconds.
+soak:
+	$(GO) run ./cmd/soak -v
+
+# soak-long is the opt-in heavy variant: every calibrated IXP, more
+# kills, several chaos rounds and bigger workloads.
+soak-long:
+	$(GO) run ./cmd/soak -v -ixps 8 -kills 4 -rounds 3 -scale 0.01 -timeout 15m
 
 # bench runs the full benchmark suite once — the paper-experiment
 # benches in the root package plus the collection-path benches in

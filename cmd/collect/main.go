@@ -25,7 +25,6 @@ import (
 	"io"
 	"log"
 	"net/http"
-	"os"
 	"path/filepath"
 	"time"
 
@@ -102,15 +101,18 @@ func main() {
 		opts.CheckpointPath = ckptPath
 	}
 	if *resume {
-		ck, err := collector.LoadCheckpoint(ckptPath)
-		switch {
-		case err == nil:
+		// Lenient resume: a corrupt checkpoint (crash mid-write, torn
+		// copy) is logged and moved aside, never fatal — only real I/O
+		// errors abort.
+		ck, err := collector.ResumeCheckpoint(ckptPath, log.Printf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if ck != nil {
 			log.Printf("resuming from %s: %d neighbors done, %d routes", ckptPath, len(ck.Done), len(ck.Routes))
 			opts.Checkpoint = ck
-		case os.IsNotExist(err):
+		} else {
 			log.Printf("no checkpoint at %s, starting fresh", ckptPath)
-		default:
-			log.Fatal(err)
 		}
 	}
 

@@ -4,17 +4,25 @@
 // Usage:
 //
 //	lg-server [-ixp DE-CIX] [-addr :8080] [-scale 0.02] [-seed 42]
-//	          [-flaky 0.0] [-bgp :1790] [-metrics-addr :9100]
+//	          [-flaky 0.0] [-admin] [-bgp :1790] [-metrics-addr :9100]
+//	          [-drain 5s]
 //
 // With -bgp it additionally accepts real BGP sessions on that address:
 // peers that establish a session and announce routes appear in the LG
 // output alongside the synthetic members. With -metrics-addr it serves
 // the operational surface on a second listener: /metrics (Prometheus
-// text format), /debug/vars (expvar JSON) and /debug/pprof/.
+// text format), /debug/vars (expvar JSON) and /debug/pprof/. With
+// -admin it mounts /admin/flaky, the runtime failure-injection control
+// the soak harness uses to flip chaos on and off mid-crawl.
+//
+// The server shuts down gracefully on SIGINT/SIGTERM: in-flight LG
+// requests drain (up to -drain), the BGP and telemetry listeners
+// close, and a final telemetry summary is logged.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -22,7 +30,10 @@ import (
 	"net/http"
 	"net/netip"
 	"os"
+	"os/signal"
 	"strconv"
+	"strings"
+	"syscall"
 	"time"
 
 	"ixplight/internal/analysis"
@@ -42,8 +53,10 @@ func main() {
 	scale := flag.Float64("scale", 0.02, "workload scale")
 	seed := flag.Int64("seed", 42, "generation seed")
 	flaky := flag.Float64("flaky", 0, "probability of injected 500 responses")
+	admin := flag.Bool("admin", false, "mount /admin/flaky for runtime failure injection control")
 	bgpAddr := flag.String("bgp", "", "optional BGP listen address (e.g. :1790)")
 	metricsAddr := flag.String("metrics-addr", "", "optional telemetry listen address serving /metrics, /debug/vars and /debug/pprof (e.g. :9100)")
+	drain := flag.Duration("drain", 5*time.Second, "graceful shutdown deadline for in-flight requests")
 	flag.Parse()
 
 	profile := ixpgen.ProfileByName(*ixp)
@@ -69,16 +82,30 @@ func main() {
 	log.Printf("%s: %d/%d members, %d/%d routes (v4/v6)",
 		st.IXP, st.MembersV4, st.MembersV6, st.RoutesV4, st.RoutesV6)
 
+	// The shutdown signal fans out to every subsystem: the BGP accept
+	// loop, its sessions, and the HTTP drains below.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var bgpLn net.Listener
 	if *bgpAddr != "" {
-		go serveBGP(server, profile, *bgpAddr)
+		bgpLn, err = net.Listen("tcp", *bgpAddr)
+		if err != nil {
+			log.Fatalf("bgp listen: %v", err)
+		}
+		go serveBGP(ctx, bgpLn, server, profile)
 	}
 
-	var handler http.Handler = lg.NewServer(server)
-	if *flaky > 0 {
-		handler = lg.Flaky(handler, lg.FlakyOptions{ErrorRate: *flaky, Seed: *seed})
-	}
+	// The flaky switch is always in the chain (inactive options pass
+	// straight through) so -admin can arm failure injection at runtime
+	// even when the process started healthy.
+	fs := lg.NewFlakySwitch(lg.NewServer(server), lg.FlakyOptions{ErrorRate: *flaky, Seed: *seed})
+	var handler http.Handler = fs
+
+	var reg *telemetry.Registry
+	var telSrv *http.Server
 	if *metricsAddr != "" {
-		reg := telemetry.New()
+		reg = telemetry.New()
 		// Register the whole pipeline's metric catalog, not just the
 		// server's own families: a scrape of a freshly started process
 		// shows every ixplight_{lg,collector,analysis,lg_server}_* family
@@ -87,18 +114,77 @@ func main() {
 		collector.NewMetrics(reg)
 		analysis.SetTelemetry(reg)
 		handler = instrument(reg, handler)
+		telSrv = &http.Server{Addr: *metricsAddr, Handler: reg.Handler()}
 		go func() {
 			log.Printf("telemetry on %s (/metrics, /debug/vars, /debug/pprof)", *metricsAddr)
-			if err := http.ListenAndServe(*metricsAddr, reg.Handler()); err != nil {
+			if err := telSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				log.Printf("telemetry listener: %v", err)
 			}
 		}()
 	}
-	log.Printf("looking glass for %s on %s", *ixp, *addr)
-	if err := http.ListenAndServe(*addr, handler); err != nil {
+	if *admin {
+		// Admin traffic bypasses instrumentation: chaos control must
+		// not perturb the request counters the soak harness reconciles.
+		mux := http.NewServeMux()
+		mux.Handle("/admin/", lg.AdminHandler(fs))
+		mux.Handle("/", handler)
+		handler = mux
+		log.Printf("admin endpoint on %s/admin/flaky", *addr)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: handler}
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("looking glass for %s on %s", *ixp, *addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	case <-ctx.Done():
 	}
+
+	// Graceful drain: stop accepting, let in-flight LG requests finish
+	// (bounded by -drain), then tear the side listeners down.
+	log.Printf("shutting down (drain %v)", *drain)
+	stop()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("drain incomplete: %v", err)
+	}
+	if bgpLn != nil {
+		bgpLn.Close()
+	}
+	if telSrv != nil {
+		telSrv.Close()
+	}
+	if reg != nil {
+		logTelemetrySummary(reg)
+	}
+	log.Print("bye")
+}
+
+// logTelemetrySummary flushes a final one-line account of the served
+// traffic so a soak run's logs end with the numbers it reconciles.
+func logTelemetrySummary(reg *telemetry.Registry) {
+	var total, errs int64
+	for name, v := range reg.Snapshot() {
+		if !strings.HasPrefix(name, "ixplight_lg_server_requests_total") {
+			continue
+		}
+		n, ok := v.(int64)
+		if !ok {
+			continue
+		}
+		total += n
+		if strings.Contains(name, `code="5`) || strings.Contains(name, `code="4`) {
+			errs += n
+		}
+	}
+	log.Printf("final telemetry: %d requests served, %d non-2xx", total, errs)
 }
 
 // statusRecorder captures the status code a handler writes.
@@ -132,13 +218,10 @@ func instrument(reg *telemetry.Registry, next http.Handler) http.Handler {
 }
 
 // serveBGP accepts member BGP sessions and feeds announcements into
-// the route server.
-func serveBGP(server *rs.Server, profile *ixpgen.Profile, addr string) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		log.Fatalf("bgp listen: %v", err)
-	}
-	log.Printf("BGP listener on %s (RS ASN %d)", addr, profile.Scheme.RSASN)
+// the route server. It returns when the listener closes; sessions end
+// when ctx is cancelled.
+func serveBGP(ctx context.Context, ln net.Listener, server *rs.Server, profile *ixpgen.Profile) {
+	log.Printf("BGP listener on %s (RS ASN %d)", ln.Addr(), profile.Scheme.RSASN)
 	cfg := session.Config{
 		ASN:      uint32(profile.Scheme.RSASN),
 		RouterID: netip.MustParseAddr("192.0.2.1"),
@@ -149,13 +232,15 @@ func serveBGP(server *rs.Server, profile *ixpgen.Profile, addr string) {
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
-			log.Printf("bgp accept: %v", err)
+			if ctx.Err() == nil {
+				log.Printf("bgp accept: %v", err)
+			}
 			return
 		}
 		idx := next
 		next++
 		go func(c net.Conn, idx int) {
-			err := session.ServeConn(context.Background(), c, cfg, func(peer uint32, u *bgp.Update) error {
+			err := session.ServeConn(ctx, c, cfg, func(peer uint32, u *bgp.Update) error {
 				if !server.HasPeer(peer) {
 					if err := server.AddPeer(rs.Peer{
 						ASN:    peer,
@@ -181,7 +266,7 @@ func serveBGP(server *rs.Server, profile *ixpgen.Profile, addr string) {
 				}
 				return nil
 			})
-			if err != nil {
+			if err != nil && ctx.Err() == nil {
 				log.Printf("bgp session: %v", err)
 			}
 		}(conn, idx)

@@ -1,0 +1,200 @@
+package collector
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"ixplight/internal/lg"
+)
+
+// goroutineCount samples the current goroutine count after giving the
+// scheduler a moment to settle.
+func goroutineCount() int {
+	runtime.Gosched()
+	return runtime.NumGoroutine()
+}
+
+// waitGoroutinesBelow polls until the goroutine count drops to at most
+// limit, failing the test on timeout — the goleak-style pin that a
+// cancelled parallel crawl leaves no workers behind.
+func waitGoroutinesBelow(t *testing.T, limit int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		n := goroutineCount()
+		if n <= limit {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Fatalf("goroutine leak after cancellation: %d goroutines, want <= %d\n%s", n, limit, buf)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestCancelMidCrawlParallelNoLeaksValidCheckpoint(t *testing.T) {
+	peers := []uint32{100, 200, 300, 400, 500, 600, 700, 800}
+	const routesPer = 3
+	server := degradedFixture(t, peers, routesPer)
+	// Slow every response down so the cancel lands mid-crawl, with
+	// several neighbor workers in flight.
+	ts := httptest.NewServer(lg.Flaky(lg.NewServer(server), lg.FlakyOptions{
+		Latency: 25 * time.Millisecond,
+	}))
+	defer ts.Close()
+	httpClient := &http.Client{Transport: &http.Transport{}}
+	defer httpClient.CloseIdleConnections()
+
+	before := goroutineCount()
+
+	ckpt := filepath.Join(t.TempDir(), "checkpoint.json")
+	client := lg.NewClient(ts.URL, lg.ClientOptions{
+		MaxInFlight: 4,
+		HTTPClient:  httpClient,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := CollectWithOptions(ctx, client, "2021-10-04", CollectOptions{
+			Partial:             true,
+			NeighborParallelism: 4,
+			CheckpointPath:      ckpt,
+		})
+		done <- err
+	}()
+
+	// Cancel once real progress is on disk: at least one neighbor
+	// finished and checkpointed, with others still in flight.
+	for {
+		if _, err := os.Stat(ckpt); err == nil {
+			break
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("crawl finished before a checkpoint appeared: %v", err)
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	cancel()
+
+	err := <-done
+	if err == nil {
+		t.Fatal("cancelled crawl returned no error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled crawl error = %v, want context.Canceled in the chain", err)
+	}
+
+	// No goroutine may outlive the crawl: neighbor workers, retry
+	// sleeps and checkpoint writers all exit on cancellation. The +2
+	// slack covers the httptest server's own accept loop machinery.
+	httpClient.CloseIdleConnections()
+	waitGoroutinesBelow(t, before+2)
+
+	// The checkpoint on disk is valid and resumable: right identity, a
+	// strict subset of the plan done, and exactly the routes of the
+	// done neighbors.
+	ck, err := LoadCheckpoint(ckpt)
+	if err != nil {
+		t.Fatalf("checkpoint after cancellation is not loadable: %v", err)
+	}
+	if !ck.Matches("DE-CIX", "2021-10-04") {
+		t.Fatalf("checkpoint identity %s/%s", ck.IXP, ck.Date)
+	}
+	if len(ck.Done) == 0 {
+		t.Fatal("checkpoint has no completed neighbors")
+	}
+	if len(ck.Done) == len(peers) {
+		t.Fatal("every neighbor done — the cancel landed after the crawl finished")
+	}
+	valid := make(map[uint32]bool, len(peers))
+	for _, asn := range peers {
+		valid[asn] = true
+	}
+	seen := make(map[uint32]bool)
+	for _, asn := range ck.Done {
+		if !valid[asn] {
+			t.Fatalf("checkpoint lists unknown neighbor AS%d", asn)
+		}
+		if seen[asn] {
+			t.Fatalf("checkpoint lists AS%d twice", asn)
+		}
+		seen[asn] = true
+	}
+	if got, want := len(ck.Routes), routesPer*len(ck.Done); got != want {
+		t.Fatalf("checkpoint has %d routes for %d done neighbors, want %d", got, len(ck.Done), want)
+	}
+
+	// And the checkpoint actually resumes: a fresh crawl over it
+	// completes without re-crawling the done neighbors. Snapshot the
+	// done list first — the resumed crawl appends its own progress to
+	// the same checkpoint object.
+	doneAtCancel := append([]uint32(nil), ck.Done...)
+	rec := &pathRecorder{}
+	ts2 := httptest.NewServer(rec.wrap(lg.NewServer(server)))
+	defer ts2.Close()
+	client2 := lg.NewClient(ts2.URL, lg.ClientOptions{HTTPClient: httpClient})
+	snap, err := CollectWithOptions(context.Background(), client2, "2021-10-04", CollectOptions{
+		Partial:    true,
+		Checkpoint: ck,
+	})
+	if err != nil {
+		t.Fatalf("resume after cancellation: %v", err)
+	}
+	if snap.Partial || len(snap.Routes) != routesPer*len(peers) {
+		t.Fatalf("resumed snapshot: partial=%v routes=%d, want %d", snap.Partial, len(snap.Routes), routesPer*len(peers))
+	}
+	for _, asn := range doneAtCancel {
+		if n := rec.containing("/neighbors/" + itoa(asn) + "/routes"); n != 0 {
+			t.Errorf("resume re-issued %d requests for finished neighbor AS%d", n, asn)
+		}
+	}
+}
+
+func TestCancelBeforeCrawlStartNoCheckpoint(t *testing.T) {
+	server := degradedFixture(t, []uint32{100, 200}, 1)
+	ts := httptest.NewServer(lg.NewServer(server))
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ckpt := filepath.Join(t.TempDir(), "checkpoint.json")
+	client := lg.NewClient(ts.URL, lg.ClientOptions{MaxInFlight: 2})
+	_, err := CollectWithOptions(ctx, client, "2021-10-04", CollectOptions{
+		Partial:             true,
+		NeighborParallelism: 2,
+		CheckpointPath:      ckpt,
+	})
+	if err == nil {
+		t.Fatal("pre-cancelled crawl succeeded")
+	}
+	if _, serr := os.Stat(ckpt); !os.IsNotExist(serr) {
+		t.Fatal("pre-cancelled crawl left a checkpoint")
+	}
+}
+
+// itoa renders an ASN without importing strconv at every call site.
+func itoa(asn uint32) string {
+	if asn == 0 {
+		return "0"
+	}
+	var b [10]byte
+	i := len(b)
+	for asn > 0 {
+		i--
+		b[i] = byte('0' + asn%10)
+		asn /= 10
+	}
+	return string(b[i:])
+}

@@ -2,6 +2,7 @@ package collector
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -50,8 +51,17 @@ func (c *Checkpoint) Save(path string) error {
 	})
 }
 
+// ErrCorruptCheckpoint reports a checkpoint file whose contents cannot
+// be trusted: truncated or malformed JSON (a kill inside AtomicWrite's
+// rename window, a torn copy, a stray file) or a decoded checkpoint
+// with no IXP/date identity — a file Matches could never validate.
+// Callers resuming a crawl should treat it as "no checkpoint", not as
+// a fatal error; ResumeCheckpoint does exactly that.
+var ErrCorruptCheckpoint = errors.New("corrupt checkpoint")
+
 // LoadCheckpoint reads a checkpoint written by Save. A missing file
-// is reported via os.IsNotExist on the returned error.
+// is reported via os.IsNotExist on the returned error; an unreadable
+// or semantically empty one wraps ErrCorruptCheckpoint.
 func LoadCheckpoint(path string) (*Checkpoint, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -60,7 +70,42 @@ func LoadCheckpoint(path string) (*Checkpoint, error) {
 	defer f.Close()
 	var c Checkpoint
 	if err := json.NewDecoder(f).Decode(&c); err != nil {
-		return nil, fmt.Errorf("collector: checkpoint %s: %w", path, err)
+		return nil, fmt.Errorf("collector: checkpoint %s: %w: %v", path, ErrCorruptCheckpoint, err)
+	}
+	if c.IXP == "" || c.Date == "" {
+		return nil, fmt.Errorf("collector: checkpoint %s: %w: missing ixp/date identity", path, ErrCorruptCheckpoint)
 	}
 	return &c, nil
+}
+
+// ResumeCheckpoint loads the checkpoint at path the way a resuming
+// crawl should: degraded, never fatal. A missing file means a fresh
+// crawl (nil checkpoint, nil error). A corrupt file — the remains of a
+// crash mid-write or a partial copy — is moved aside to path+".corrupt"
+// (so the evidence survives and the next Save is unobstructed), logged
+// through logf, and likewise yields a fresh crawl. Only real I/O
+// errors (permissions, unreadable directories) are returned.
+func ResumeCheckpoint(path string, logf func(format string, args ...any)) (*Checkpoint, error) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	c, err := LoadCheckpoint(path)
+	switch {
+	case err == nil:
+		return c, nil
+	case os.IsNotExist(err):
+		return nil, nil
+	case errors.Is(err, ErrCorruptCheckpoint):
+		aside := path + ".corrupt"
+		if rerr := os.Rename(path, aside); rerr != nil {
+			// Couldn't move it aside; remove it so the crawl's own
+			// checkpoint saves aren't fighting a poisoned file.
+			os.Remove(path)
+			aside = "(removed)"
+		}
+		logf("%v — starting a fresh crawl, corrupt file kept at %s", err, aside)
+		return nil, nil
+	default:
+		return nil, err
+	}
 }

@@ -1,0 +1,180 @@
+package collector
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ixplight/internal/lg"
+)
+
+// saveTestCheckpoint writes a small valid checkpoint and returns its
+// path and encoded bytes.
+func saveTestCheckpoint(t *testing.T) (string, []byte) {
+	t.Helper()
+	ck := &Checkpoint{IXP: "DE-CIX", Date: "2021-10-04"}
+	ck.MarkDone(64500, nil)
+	ck.MarkDone(64501, nil)
+	path := filepath.Join(t.TempDir(), "checkpoint.json")
+	if err := ck.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path, data
+}
+
+func TestLoadCheckpointCorrupt(t *testing.T) {
+	path, data := saveTestCheckpoint(t)
+
+	// Every truncation point of a valid checkpoint — the file a kill
+	// inside AtomicWrite's rename window or a torn copy leaves behind —
+	// must surface as ErrCorruptCheckpoint, never as a valid (or
+	// silently empty) checkpoint.
+	cuts := []int{0, 1, len(data) / 4, len(data) / 2, len(data) - 2}
+	for _, cut := range cuts {
+		if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := LoadCheckpoint(path)
+		if !errors.Is(err, ErrCorruptCheckpoint) {
+			t.Errorf("truncated at %d/%d bytes: err = %v, want ErrCorruptCheckpoint", cut, len(data), err)
+		}
+	}
+
+	// Garbage bytes and identity-less JSON are corrupt too: a bare {}
+	// would otherwise sail through decoding and abort the crawl later
+	// with a bogus IXP/date mismatch.
+	for name, contents := range map[string]string{
+		"garbage":     "\x00\xff\x17not json at all",
+		"empty":       "",
+		"no-identity": "{}",
+		"half-object": `{"ixp": "DE-CIX", "date": "2021-`,
+	} {
+		if err := os.WriteFile(path, []byte(contents), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadCheckpoint(path); !errors.Is(err, ErrCorruptCheckpoint) {
+			t.Errorf("%s: err = %v, want ErrCorruptCheckpoint", name, err)
+		}
+	}
+}
+
+func TestResumeCheckpointFallsBackOnCorruption(t *testing.T) {
+	path, data := saveTestCheckpoint(t)
+
+	// Valid file resumes.
+	ck, err := ResumeCheckpoint(path, t.Logf)
+	if err != nil || ck == nil || len(ck.Done) != 2 {
+		t.Fatalf("valid checkpoint: ck=%v err=%v", ck, err)
+	}
+
+	// Missing file is a silent fresh start.
+	ck, err = ResumeCheckpoint(filepath.Join(t.TempDir(), "nope.json"), t.Logf)
+	if err != nil || ck != nil {
+		t.Fatalf("missing checkpoint: ck=%v err=%v, want nil/nil", ck, err)
+	}
+
+	// Corrupt file: logged, moved aside, fresh start — never an abort.
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var logged []string
+	logf := func(format string, args ...any) {
+		logged = append(logged, format)
+	}
+	ck, err = ResumeCheckpoint(path, logf)
+	if err != nil || ck != nil {
+		t.Fatalf("corrupt checkpoint: ck=%v err=%v, want nil/nil", ck, err)
+	}
+	if len(logged) != 1 {
+		t.Fatalf("corrupt checkpoint logged %d lines, want 1", len(logged))
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("corrupt checkpoint still at %s", path)
+	}
+	aside, err := os.ReadFile(path + ".corrupt")
+	if err != nil {
+		t.Fatalf("corrupt file not kept aside: %v", err)
+	}
+	if string(aside) != string(data[:len(data)/2]) {
+		t.Fatal("moved-aside corrupt file does not match the original bytes")
+	}
+}
+
+func TestCollectAfterCorruptCheckpointFallback(t *testing.T) {
+	// End to end: a crawl resumed through ResumeCheckpoint over a
+	// corrupted file must complete as a fresh crawl, and re-crawl
+	// every neighbor (nothing can be trusted from the bad file).
+	server := degradedFixture(t, []uint32{100, 200, 300}, 2)
+	rec := &pathRecorder{}
+	ts := httptest.NewServer(rec.wrap(lg.NewServer(server)))
+	defer ts.Close()
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "checkpoint.json")
+	if err := os.WriteFile(path, []byte(`{"ixp": "DE-CIX", "date":`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ck, err := ResumeCheckpoint(path, t.Logf)
+	if err != nil {
+		t.Fatalf("ResumeCheckpoint must not abort the run: %v", err)
+	}
+	client := lg.NewClient(ts.URL, lg.ClientOptions{})
+	snap, err := CollectWithOptions(context.Background(), client, "2021-10-04", CollectOptions{
+		Partial:        true,
+		Checkpoint:     ck, // nil: fresh crawl
+		CheckpointPath: path,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Partial || len(snap.Routes) != 6 {
+		t.Fatalf("fresh crawl after fallback: partial=%v routes=%d, want complete with 6", snap.Partial, len(snap.Routes))
+	}
+	for _, asn := range []string{"100", "200", "300"} {
+		if n := rec.containing("/neighbors/" + asn + "/routes"); n != 1 {
+			t.Errorf("neighbor %s crawled %d times, want 1", asn, n)
+		}
+	}
+	// The completed crawl removed its checkpoint; the corrupt remains
+	// stay aside for the post-mortem.
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Error("completed crawl left a checkpoint behind")
+	}
+	if _, err := os.Stat(path + ".corrupt"); err != nil {
+		t.Errorf("corrupt evidence missing: %v", err)
+	}
+}
+
+func TestResumeCheckpointKeepsRealErrors(t *testing.T) {
+	if os.Getuid() == 0 {
+		t.Skip("running as root: permission errors are not enforceable")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "checkpoint.json")
+	if err := os.WriteFile(path, []byte("{}"), 0o000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ResumeCheckpoint(path, t.Logf); err == nil {
+		t.Fatal("permission error must surface, not silently start fresh")
+	}
+}
+
+func TestCheckpointCorruptErrorMentionsPath(t *testing.T) {
+	path, data := saveTestCheckpoint(t)
+	if err := os.WriteFile(path, data[:3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := LoadCheckpoint(path)
+	if err == nil || !strings.Contains(err.Error(), path) {
+		t.Fatalf("corrupt error should name the file: %v", err)
+	}
+}

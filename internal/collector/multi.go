@@ -39,6 +39,11 @@ type Result struct {
 	// Requests counts HTTP requests sent to the LG, retries and
 	// pagination included (lg.Client.HTTPRequests).
 	Requests int
+	// Calls counts logical API calls admitted by the client (status,
+	// neighbors, one routes listing each — lg.Client.Requests). The
+	// soak harness reconciles this against the crawl plan: a resumed
+	// crawl must spend exactly 2 + remaining-neighbors calls.
+	Calls int
 	// Stats is the per-crawl summary (retries, slowest neighbor, budget
 	// state). Zero when the crawl failed before producing a snapshot.
 	Stats CrawlStats
@@ -160,6 +165,7 @@ func CollectAllWithOptions(ctx context.Context, targets []Target, date string, m
 				Partial:  snap != nil && snap.Partial,
 				Duration: time.Since(start),
 				Requests: client.HTTPRequests(),
+				Calls:    client.Requests(),
 				Stats:    *collectOpts.Stats,
 			}
 		}(i, tgt)

@@ -1,0 +1,43 @@
+package lg
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// AdminHandler exposes runtime control over a FlakySwitch, so chaos
+// tooling (cmd/soak, or an operator with curl) can flip a live
+// server's failure modes over the same kind of socket the crawler
+// uses:
+//
+//	GET  /admin/flaky  — the currently armed FlakyOptions as JSON
+//	POST /admin/flaky  — replace the options with the JSON body
+//	                     (an empty object {} heals the server)
+//
+// A successful POST answers 200 with the applied options, so the
+// caller can confirm exactly what is armed. The endpoint is
+// deliberately not mounted by default — cmd/lg-server requires -admin
+// — because it turns a public-looking LG into a remotely breakable
+// one.
+func AdminHandler(s *FlakySwitch) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/admin/flaky", func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodGet:
+			writeJSON(w, s.Options())
+		case http.MethodPost, http.MethodPut:
+			var opts FlakyOptions
+			dec := json.NewDecoder(r.Body)
+			dec.DisallowUnknownFields()
+			if err := dec.Decode(&opts); err != nil {
+				http.Error(w, "bad flaky options: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			s.Set(opts)
+			writeJSON(w, s.Options())
+		default:
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		}
+	})
+	return mux
+}

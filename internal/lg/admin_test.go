@@ -1,0 +1,174 @@
+package lg
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// okHandler answers 200 "ok" to everything.
+var okHandler = http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+	io.WriteString(w, "ok")
+})
+
+func TestFlakySwitchToggle(t *testing.T) {
+	fs := NewFlakySwitch(okHandler, FlakyOptions{})
+	ts := httptest.NewServer(fs)
+	defer ts.Close()
+
+	get := func() int {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/anything")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	if code := get(); code != http.StatusOK {
+		t.Fatalf("healthy switch answered %d", code)
+	}
+	// Arm total failure: every request rolls under ErrorRate 1.0.
+	fs.Set(FlakyOptions{ErrorRate: 1.0, Seed: 1})
+	if code := get(); code != http.StatusInternalServerError {
+		t.Fatalf("armed switch answered %d, want 500", code)
+	}
+	// Heal it again.
+	fs.Set(FlakyOptions{})
+	if code := get(); code != http.StatusOK {
+		t.Fatalf("healed switch answered %d, want 200", code)
+	}
+}
+
+func TestFlakySwitchEpochDeterminism(t *testing.T) {
+	// Same seed, same request sequence → same injected failures, even
+	// after a re-arm. RateLimitEvery is count-driven, so the epoch
+	// reset is observable: the 3rd request of each epoch is a 429.
+	fs := NewFlakySwitch(okHandler, FlakyOptions{RateLimitEvery: 3, Seed: 7})
+	codes := func(n int) []int {
+		var out []int
+		for i := 0; i < n; i++ {
+			rec := httptest.NewRecorder()
+			fs.ServeHTTP(rec, httptest.NewRequest("GET", "/x", nil))
+			out = append(out, rec.Code)
+		}
+		return out
+	}
+	first := codes(4)
+	fs.Set(FlakyOptions{RateLimitEvery: 3, Seed: 7})
+	second := codes(4)
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("epoch replay diverged at request %d: %v vs %v", i, first, second)
+		}
+	}
+	if first[2] != http.StatusTooManyRequests {
+		t.Fatalf("3rd request = %d, want 429 (got %v)", first[2], first)
+	}
+}
+
+func TestAdminHandlerFlipsFlaky(t *testing.T) {
+	fs := NewFlakySwitch(okHandler, FlakyOptions{})
+	mux := http.NewServeMux()
+	mux.Handle("/admin/", AdminHandler(fs))
+	mux.Handle("/", fs)
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	// Arm an outage over the wire.
+	want := FlakyOptions{
+		ErrorRate:       0.5,
+		Latency:         2 * time.Millisecond,
+		NeighborOutage:  []uint32{64500},
+		NeighborLatency: map[uint32]time.Duration{64501: time.Millisecond},
+		Seed:            42,
+	}
+	body, _ := json.Marshal(want)
+	resp, err := http.Post(ts.URL+"/admin/flaky", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /admin/flaky: %d", resp.StatusCode)
+	}
+	var applied FlakyOptions
+	if err := json.NewDecoder(resp.Body).Decode(&applied); err != nil {
+		t.Fatal(err)
+	}
+	if applied.ErrorRate != want.ErrorRate || applied.Seed != want.Seed ||
+		len(applied.NeighborOutage) != 1 || applied.NeighborOutage[0] != 64500 ||
+		applied.NeighborLatency[64501] != time.Millisecond {
+		t.Fatalf("applied options = %+v, want %+v", applied, want)
+	}
+	got := fs.Options()
+	if got.ErrorRate != want.ErrorRate || got.Latency != want.Latency {
+		t.Fatalf("switch options = %+v, want %+v", got, want)
+	}
+
+	// GET reads them back.
+	resp2, err := http.Get(ts.URL + "/admin/flaky")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var read FlakyOptions
+	if err := json.NewDecoder(resp2.Body).Decode(&read); err != nil {
+		t.Fatal(err)
+	}
+	if read.ErrorRate != want.ErrorRate || read.Seed != want.Seed {
+		t.Fatalf("GET /admin/flaky = %+v, want %+v", read, want)
+	}
+
+	// Bad JSON is rejected and leaves the armed options alone.
+	resp3, err := http.Post(ts.URL+"/admin/flaky", "application/json",
+		bytes.NewReader([]byte(`{"no_such_knob": true}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp3.Body)
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad options POST: %d, want 400", resp3.StatusCode)
+	}
+	if fs.Options().ErrorRate != want.ErrorRate {
+		t.Fatal("rejected POST changed the armed options")
+	}
+}
+
+func TestFlakySwitchConcurrentSetAndServe(t *testing.T) {
+	// Races between Set and ServeHTTP must be clean (-race pins this):
+	// requests run under whichever epoch they observed.
+	fs := NewFlakySwitch(okHandler, FlakyOptions{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				fs.Set(FlakyOptions{ErrorRate: float64(j%2) * 0.5, Seed: int64(i*100 + j)})
+			}
+		}(i)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				rec := httptest.NewRecorder()
+				fs.ServeHTTP(rec, httptest.NewRequest("GET", fmt.Sprintf("/r/%d", j), nil))
+				if rec.Code != http.StatusOK && rec.Code != http.StatusInternalServerError {
+					t.Errorf("unexpected status %d", rec.Code)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

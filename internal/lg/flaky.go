@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -19,41 +20,50 @@ import (
 type FlakyOptions struct {
 	// ErrorRate is the probability of answering 500 instead of the
 	// real response.
-	ErrorRate float64
+	ErrorRate float64 `json:"error_rate,omitempty"`
 	// RateLimitEvery answers 429 on every n-th request when > 0,
 	// simulating LG query rate limits.
-	RateLimitEvery int
+	RateLimitEvery int `json:"rate_limit_every,omitempty"`
 	// RetryAfter is advertised in the Retry-After header of every 429
 	// (default 1s), matching real alice-lg deployments behind rate
 	// limiters.
-	RetryAfter time.Duration
+	RetryAfter time.Duration `json:"retry_after,omitempty"`
 	// Latency delays every response by this much, simulating a slow or
 	// overloaded LG backend.
-	Latency time.Duration
+	Latency time.Duration `json:"latency,omitempty"`
 	// HangEvery makes every n-th request hang until the client gives
 	// up (its request context is cancelled) when > 0.
-	HangEvery int
+	HangEvery int `json:"hang_every,omitempty"`
 	// TruncateEvery cuts every n-th successful body in half when > 0:
 	// the declared Content-Length promises the full body, so the
 	// client sees the connection die mid-response.
-	TruncateEvery int
+	TruncateEvery int `json:"truncate_every,omitempty"`
 	// ShrinkAfter shrinks the declared route totals of paginated
 	// listings (pages after the first) once more than n requests have
 	// been served, simulating RIB churn mid-crawl. 0 disables.
-	ShrinkAfter int
+	ShrinkAfter int `json:"shrink_after,omitempty"`
 	// NeighborOutage lists neighbor ASNs whose routes endpoints always
 	// answer 500 — a permanently broken per-peer view.
-	NeighborOutage []uint32
+	NeighborOutage []uint32 `json:"neighbor_outage,omitempty"`
 	// NeighborLatency delays the routes endpoints of specific
 	// neighbors (on top of Latency), so tests can force parallel
 	// crawls to complete out of neighbor order.
-	NeighborLatency map[uint32]time.Duration
+	NeighborLatency map[uint32]time.Duration `json:"neighbor_latency,omitempty"`
 	// Seed makes the injected failures reproducible.
-	Seed int64
+	Seed int64 `json:"seed,omitempty"`
 }
 
-// flakyRecorder buffers a downstream response so Flaky can tamper
-// with the body before it reaches the wire.
+// active reports whether any failure mode is switched on. An inactive
+// option set lets the switch serve requests straight through, without
+// buffering bodies.
+func (o FlakyOptions) active() bool {
+	return o.ErrorRate > 0 || o.RateLimitEvery > 0 || o.Latency > 0 ||
+		o.HangEvery > 0 || o.TruncateEvery > 0 || o.ShrinkAfter > 0 ||
+		len(o.NeighborOutage) > 0 || len(o.NeighborLatency) > 0
+}
+
+// flakyRecorder buffers a downstream response so the injector can
+// tamper with the body before it reaches the wire.
 type flakyRecorder struct {
 	header http.Header
 	status int
@@ -75,83 +85,144 @@ func (r *flakyRecorder) Write(b []byte) (int, error) {
 	return r.body.Write(b)
 }
 
-// Flaky wraps an HTTP handler with deterministic failure injection —
-// the LG instability the paper's collection had to survive: 500s,
-// rate limits (with Retry-After), latency, hung connections,
-// truncated bodies, and mid-crawl pagination shrinkage.
-func Flaky(next http.Handler, opts FlakyOptions) http.Handler {
-	rng := rand.New(rand.NewSource(opts.Seed))
-	var mu sync.Mutex
-	count := 0
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		mu.Lock()
-		count++
-		n := count
-		roll := rng.Float64()
-		mu.Unlock()
-		if opts.Latency > 0 {
+// flakyCore is one injection epoch: an option set plus the seeded rng
+// and request counter the counter-driven modes are interpreted
+// against. Swapping options (FlakySwitch.Set) starts a fresh epoch, so
+// every epoch replays deterministically from its seed.
+type flakyCore struct {
+	opts FlakyOptions
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	count int
+}
+
+func newFlakyCore(opts FlakyOptions) *flakyCore {
+	return &flakyCore{opts: opts, rng: rand.New(rand.NewSource(opts.Seed))}
+}
+
+// serve runs one request through the failure injector in front of next.
+func (c *flakyCore) serve(w http.ResponseWriter, r *http.Request, next http.Handler) {
+	opts := c.opts
+	c.mu.Lock()
+	c.count++
+	n := c.count
+	roll := c.rng.Float64()
+	c.mu.Unlock()
+	if opts.Latency > 0 {
+		select {
+		case <-time.After(opts.Latency):
+		case <-r.Context().Done():
+			return
+		}
+	}
+	if opts.HangEvery > 0 && n%opts.HangEvery == 0 {
+		<-r.Context().Done()
+		return
+	}
+	// Per-neighbor failure modes come before the stochastic,
+	// counter-driven ones: a permanently broken per-peer view answers
+	// the same way no matter how requests interleave, so a degraded
+	// crawl's recorded errors stay deterministic at any parallelism.
+	for asn, d := range opts.NeighborLatency {
+		if d > 0 && strings.Contains(r.URL.Path, fmt.Sprintf("/neighbors/%d/routes", asn)) {
 			select {
-			case <-time.After(opts.Latency):
+			case <-time.After(d):
 			case <-r.Context().Done():
 				return
 			}
 		}
-		if opts.HangEvery > 0 && n%opts.HangEvery == 0 {
-			<-r.Context().Done()
+	}
+	for _, asn := range opts.NeighborOutage {
+		if strings.Contains(r.URL.Path, fmt.Sprintf("/neighbors/%d/routes", asn)) {
+			http.Error(w, "backend unavailable", http.StatusInternalServerError)
 			return
 		}
-		// Per-neighbor failure modes come before the stochastic,
-		// counter-driven ones: a permanently broken per-peer view answers
-		// the same way no matter how requests interleave, so a degraded
-		// crawl's recorded errors stay deterministic at any parallelism.
-		for asn, d := range opts.NeighborLatency {
-			if d > 0 && strings.Contains(r.URL.Path, fmt.Sprintf("/neighbors/%d/routes", asn)) {
-				select {
-				case <-time.After(d):
-				case <-r.Context().Done():
-					return
-				}
-			}
+	}
+	if opts.RateLimitEvery > 0 && n%opts.RateLimitEvery == 0 {
+		w.Header().Set("Retry-After", retryAfterSeconds(opts.RetryAfter))
+		http.Error(w, "rate limited", http.StatusTooManyRequests)
+		return
+	}
+	if roll < opts.ErrorRate {
+		http.Error(w, "internal error", http.StatusInternalServerError)
+		return
+	}
+	rec := &flakyRecorder{header: make(http.Header)}
+	next.ServeHTTP(rec, r)
+	body := rec.body.Bytes()
+	if opts.ShrinkAfter > 0 && n > opts.ShrinkAfter && rec.status == http.StatusOK &&
+		strings.Contains(r.URL.Path, "/routes/") && pastFirstPage(r) {
+		body = shrinkRoutesBody(body)
+	}
+	for k, vs := range rec.header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
 		}
-		for _, asn := range opts.NeighborOutage {
-			if strings.Contains(r.URL.Path, fmt.Sprintf("/neighbors/%d/routes", asn)) {
-				http.Error(w, "backend unavailable", http.StatusInternalServerError)
-				return
-			}
-		}
-		if opts.RateLimitEvery > 0 && n%opts.RateLimitEvery == 0 {
-			w.Header().Set("Retry-After", retryAfterSeconds(opts.RetryAfter))
-			http.Error(w, "rate limited", http.StatusTooManyRequests)
-			return
-		}
-		if roll < opts.ErrorRate {
-			http.Error(w, "internal error", http.StatusInternalServerError)
-			return
-		}
-		rec := &flakyRecorder{header: make(http.Header)}
-		next.ServeHTTP(rec, r)
-		body := rec.body.Bytes()
-		if opts.ShrinkAfter > 0 && n > opts.ShrinkAfter && rec.status == http.StatusOK &&
-			strings.Contains(r.URL.Path, "/routes/") && pastFirstPage(r) {
-			body = shrinkRoutesBody(body)
-		}
-		for k, vs := range rec.header {
-			for _, v := range vs {
-				w.Header().Add(k, v)
-			}
-		}
-		if opts.TruncateEvery > 0 && n%opts.TruncateEvery == 0 && rec.status == http.StatusOK && len(body) > 1 {
-			// Promise the full body, deliver half: the server closes the
-			// connection on the shortfall and the client reads an
-			// unexpected EOF.
-			w.Header().Set("Content-Length", strconv.Itoa(len(body)))
-			w.WriteHeader(rec.status)
-			w.Write(body[:len(body)/2])
-			return
-		}
+	}
+	if opts.TruncateEvery > 0 && n%opts.TruncateEvery == 0 && rec.status == http.StatusOK && len(body) > 1 {
+		// Promise the full body, deliver half: the server closes the
+		// connection on the shortfall and the client reads an
+		// unexpected EOF.
+		w.Header().Set("Content-Length", strconv.Itoa(len(body)))
 		w.WriteHeader(rec.status)
-		w.Write(body)
-	})
+		w.Write(body[:len(body)/2])
+		return
+	}
+	w.WriteHeader(rec.status)
+	w.Write(body)
+}
+
+// FlakySwitch is failure injection that can be re-armed while the
+// server is live: a handler wrapper whose FlakyOptions are swapped
+// atomically with Set — the runtime chaos control the soak harness
+// (and cmd/lg-server's admin endpoint) flips servers with. A switch
+// whose options are all zero serves straight through.
+type FlakySwitch struct {
+	next http.Handler
+	core atomic.Pointer[flakyCore]
+}
+
+// NewFlakySwitch wraps next with a togglable failure injector, armed
+// with opts (which may be the zero value: a healthy server until the
+// first Set).
+func NewFlakySwitch(next http.Handler, opts FlakyOptions) *FlakySwitch {
+	s := &FlakySwitch{next: next}
+	s.core.Store(newFlakyCore(opts))
+	return s
+}
+
+// Set replaces the injection options. The swap is atomic — in-flight
+// requests finish under the options they started with — and begins a
+// fresh epoch: the request counter resets and the rng is reseeded from
+// opts.Seed, so every epoch's failures replay deterministically.
+func (s *FlakySwitch) Set(opts FlakyOptions) {
+	s.core.Store(newFlakyCore(opts))
+}
+
+// Options returns the currently armed option set.
+func (s *FlakySwitch) Options() FlakyOptions {
+	return s.core.Load().opts
+}
+
+// ServeHTTP implements http.Handler.
+func (s *FlakySwitch) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	c := s.core.Load()
+	if !c.opts.active() {
+		s.next.ServeHTTP(w, r)
+		return
+	}
+	c.serve(w, r, s.next)
+}
+
+// Flaky wraps an HTTP handler with deterministic failure injection —
+// the LG instability the paper's collection had to survive: 500s,
+// rate limits (with Retry-After), latency, hung connections,
+// truncated bodies, and mid-crawl pagination shrinkage. The returned
+// handler is a *FlakySwitch, so callers that keep the concrete type
+// can re-arm it at runtime.
+func Flaky(next http.Handler, opts FlakyOptions) http.Handler {
+	return NewFlakySwitch(next, opts)
 }
 
 func pastFirstPage(r *http.Request) bool {

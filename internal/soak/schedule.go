@@ -1,0 +1,161 @@
+package soak
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"ixplight/internal/lg"
+)
+
+// flakyJSON renders FlakyOptions for the admin endpoint.
+func flakyJSON(opts lg.FlakyOptions) (string, error) {
+	b, err := json.Marshal(opts)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// IXPChaos is the scripted failure plan for one IXP in one round.
+type IXPChaos struct {
+	// Flaky is armed over the admin endpoint before the degraded
+	// crawl. Outage neighbors are baked into it.
+	Flaky lg.FlakyOptions
+	// Outage lists the neighbors whose routes endpoints are down for
+	// the round — the exact member-error set a strict IXP must report.
+	Outage []uint32
+	// Strict marks an IXP with only deterministic failures (outages,
+	// latency): its degraded snapshot's member errors must equal the
+	// outage set exactly. Relaxed IXPs add stochastic failures, so
+	// outages are only a lower bound there.
+	Strict bool
+	// KillAfter kills the server after this many further LG requests
+	// during the kill phase (0 = this IXP is not killed this round).
+	KillAfter int
+}
+
+// Schedule is one soak run's complete chaos script, generated up
+// front from the seed and the reference crawl's deterministic shape —
+// nothing about it depends on crawl timing, so the same seed always
+// yields the same script.
+type Schedule struct {
+	Rounds [][]IXPChaos // [round][ixp]
+}
+
+// String renders the schedule for logs and reproducibility checks.
+func (s *Schedule) String() string {
+	var b strings.Builder
+	for r, round := range s.Rounds {
+		for i, c := range round {
+			fmt.Fprintf(&b, "round %d ixp %d:", r, i)
+			if c.Strict {
+				b.WriteString(" strict")
+			}
+			fmt.Fprintf(&b, " outage=%v", c.Outage)
+			if c.Flaky.ErrorRate > 0 {
+				fmt.Fprintf(&b, " error_rate=%.2f", c.Flaky.ErrorRate)
+			}
+			if c.Flaky.Latency > 0 {
+				fmt.Fprintf(&b, " latency=%v", c.Flaky.Latency)
+			}
+			if c.Flaky.TruncateEvery > 0 {
+				fmt.Fprintf(&b, " truncate_every=%d", c.Flaky.TruncateEvery)
+			}
+			if c.Flaky.HangEvery > 0 {
+				fmt.Fprintf(&b, " hang_every=%d", c.Flaky.HangEvery)
+			}
+			if c.Flaky.ShrinkAfter > 0 {
+				fmt.Fprintf(&b, " shrink_after=%d", c.Flaky.ShrinkAfter)
+			}
+			if c.KillAfter > 0 {
+				fmt.Fprintf(&b, " kill_after=%d", c.KillAfter)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// planInfo is what the schedule generator may depend on: the
+// reference crawl's deterministic shape, per IXP.
+type planInfo struct {
+	// planASNs is the crawl plan (neighbors with accepted routes),
+	// sorted ascending.
+	planASNs []uint32
+	// serverRequests is how many LG requests the chaos-free reference
+	// crawl took — the window a kill point is drawn from.
+	serverRequests int
+}
+
+// buildSchedule scripts the whole run. rng draws are made in a fixed
+// order (round-major, IXP-minor) so the schedule is a pure function
+// of (seed, reference shape).
+func buildSchedule(rng *rand.Rand, infos []planInfo, rounds, kills int) *Schedule {
+	sched := &Schedule{}
+	for r := 0; r < rounds; r++ {
+		round := make([]IXPChaos, len(infos))
+		for i, info := range infos {
+			c := IXPChaos{
+				// IXP 0 is always strict, so every run exercises the
+				// exact member-error invariant; the others draw.
+				Strict: i == 0 || rng.Intn(3) == 0,
+			}
+			// One or two neighbors go dark, drawn from the sorted
+			// crawl plan so the pick is content-deterministic.
+			k := 1 + rng.Intn(2)
+			if k > len(info.planASNs) {
+				k = len(info.planASNs)
+			}
+			for _, pick := range rng.Perm(len(info.planASNs))[:k] {
+				c.Outage = append(c.Outage, info.planASNs[pick])
+			}
+			sort.Slice(c.Outage, func(a, b int) bool { return c.Outage[a] < c.Outage[b] })
+			c.Flaky.NeighborOutage = c.Outage
+			c.Flaky.Latency = time.Duration(1+rng.Intn(3)) * time.Millisecond
+			c.Flaky.Seed = rng.Int63()
+			if !c.Strict {
+				// Stochastic chaos: injected 500s, truncated bodies,
+				// hangs. All are survivable under the client's retry
+				// policy; they may add member errors beyond the
+				// outage set, which is why relaxed IXPs only get the
+				// subset check.
+				c.Flaky.ErrorRate = 0.05 + rng.Float64()*0.10
+				if rng.Intn(2) == 0 {
+					c.Flaky.TruncateEvery = 7 + rng.Intn(7)
+				}
+				if rng.Intn(2) == 0 {
+					c.Flaky.HangEvery = 11 + rng.Intn(7)
+				}
+				if rng.Intn(3) == 0 {
+					// Pagination shrinkage: declared route totals
+					// shrink mid-listing, so multi-page neighbors
+					// fail with "total count changed mid-crawl" and
+					// surface as member errors.
+					c.Flaky.ShrinkAfter = 10 + rng.Intn(10)
+				}
+			}
+			round[i] = c
+		}
+		// Pick the kill victims among IXPs with enough reference
+		// traffic for a mid-crawl kill window.
+		victims := rng.Perm(len(infos))
+		armed := 0
+		for _, v := range victims {
+			if armed >= kills {
+				break
+			}
+			window := infos[v].serverRequests - 6
+			if window < 2 {
+				continue
+			}
+			round[v].KillAfter = 4 + rng.Intn(window)
+			armed++
+		}
+		sched.Rounds = append(sched.Rounds, round)
+	}
+	return sched
+}
