@@ -6,9 +6,9 @@
 GO ?= go
 BENCH_DATE := $(shell date +%Y%m%d)
 
-.PHONY: check vet build test race bench soak soak-long
+.PHONY: check vet build test race bench benchdiff soak soak-long
 
-check: vet build race soak
+check: vet build race soak benchdiff
 
 # vet runs the stock analyzers plus metriclint, which pins the metric
 # naming contract: every family registered on a telemetry.Registry is
@@ -40,12 +40,23 @@ soak-long:
 
 # bench runs the full benchmark suite once — the paper-experiment
 # benches in the root package plus the collection-path benches in
-# internal/collector (crawl parallelism, snapshot codecs) and
-# internal/lg (client hot paths) and internal/telemetry (instrument
-# overhead, including the disabled-path zero-alloc pin) — and archives
-# the merged results as
+# internal/collector (crawl parallelism, snapshot codecs),
+# internal/analysis (column-direct vs decode-then-classify index
+# construction), internal/lg (client hot paths) and
+# internal/telemetry (instrument overhead, including the
+# disabled-path zero-alloc pin) — and archives the merged results as
 # machine-readable JSON (BENCH_<yyyymmdd>.json), for comparison across
-# commits. The live text output still streams to the terminal.
-BENCH_PKGS := . ./internal/collector ./internal/lg ./internal/telemetry
+# commits. The live text output still streams to the terminal, and the
+# archive is diffed against the previous one (informational here; the
+# enforcing gate is `make check`).
+BENCH_PKGS := . ./internal/collector ./internal/analysis ./internal/lg ./internal/telemetry
 bench:
 	$(GO) test -bench=. -benchmem -count=1 $(BENCH_PKGS) | $(GO) run ./cmd/benchjson -out BENCH_$(BENCH_DATE).json -date $(BENCH_DATE)
+	-$(GO) run ./cmd/benchdiff BENCH_$(BENCH_DATE).json
+
+# benchdiff guards the snapshot-codec and index-construction suites:
+# it compares the two newest BENCH_*.json archives and fails on any
+# ns/op regression above 20%. With fewer than two archives it is a
+# no-op, so check stays green on fresh clones.
+benchdiff:
+	$(GO) run ./cmd/benchdiff

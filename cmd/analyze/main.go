@@ -9,13 +9,16 @@
 //
 // Without -snapshots it generates the calibrated synthetic workload;
 // with -snapshots it loads stored snapshot files for the latest date
-// per IXP instead.
+// per IXP instead. Columnar binary snapshot files are indexed
+// straight off their columns by default (no []bgp.Route is ever
+// materialized); -materialize restores the decode-then-classify
+// loading path. Either way the experiment output is byte-identical.
 //
 // -parallel bounds the worker pools: experiments fan out across the
 // pool, each writing to an ordered buffer, so the output is
 // byte-identical to a sequential run. -parallel 1 additionally
-// disables the classified snapshot index and restores the original
-// sequential direct-classify pipeline.
+// disables the classified snapshot index (implying -materialize) and
+// restores the original sequential direct-classify pipeline.
 package main
 
 import (
@@ -40,6 +43,8 @@ func main() {
 	outDir := flag.String("out", "", "also write each experiment's output to <out>/<name>.txt")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"worker budget for generation, analysis and experiments (1 = sequential direct-classify path)")
+	materialize := flag.Bool("materialize", false,
+		"decode full routes when loading -snapshots instead of indexing columnar files column-direct")
 	flag.Parse()
 
 	analysis.SetParallelism(*parallel)
@@ -52,6 +57,9 @@ func main() {
 		fatal(err)
 	}
 	if *snapshotDir != "" {
+		// -parallel 1 promises the original direct-classify pipeline,
+		// which needs materialized routes to walk.
+		lab.Materialize = *materialize || *parallel == 1
 		if err := lab.LoadSnapshotDir(*snapshotDir); err != nil {
 			fatal(err)
 		}

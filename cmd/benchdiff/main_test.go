@@ -1,0 +1,53 @@
+package main
+
+import (
+	"regexp"
+	"testing"
+)
+
+func rep(results ...Result) *Report { return &Report{Benchmarks: results} }
+
+func res(name string, nsop float64) Result {
+	return Result{Name: name, Pkg: "p", Procs: 1, Metrics: map[string]float64{"ns/op": nsop}}
+}
+
+func TestCompare(t *testing.T) {
+	guard := regexp.MustCompile("^(SnapshotCodec|Index)")
+	oldRep := rep(
+		res("SnapshotCodec/binary", 1000),
+		res("IndexFromColumns", 2000),
+		res("IndexGone", 500),
+		res("Unguarded", 10),
+	)
+	newRep := rep(
+		res("SnapshotCodec/binary", 1300), // +30%
+		res("IndexFromColumns", 1900),     // -5%
+		res("IndexFresh", 700),
+		res("Unguarded", 99999),
+	)
+	deltas, onlyOld, onlyNew := compare(oldRep, newRep, guard)
+	if len(deltas) != 2 {
+		t.Fatalf("deltas: %+v", deltas)
+	}
+	// Sorted worst-first.
+	if deltas[0].Key != "p.SnapshotCodec/binary-1" || deltas[0].Ratio < 0.29 || deltas[0].Ratio > 0.31 {
+		t.Errorf("worst delta wrong: %+v", deltas[0])
+	}
+	if deltas[1].Key != "p.IndexFromColumns-1" || deltas[1].Ratio > 0 {
+		t.Errorf("improvement delta wrong: %+v", deltas[1])
+	}
+	if len(onlyOld) != 1 || onlyOld[0] != "p.IndexGone-1" {
+		t.Errorf("onlyOld: %v", onlyOld)
+	}
+	if len(onlyNew) != 1 || onlyNew[0] != "p.IndexFresh-1" {
+		t.Errorf("onlyNew: %v", onlyNew)
+	}
+}
+
+func TestCompareZeroBaseline(t *testing.T) {
+	guard := regexp.MustCompile("Index")
+	deltas, _, _ := compare(rep(res("Index", 0)), rep(res("Index", 100)), guard)
+	if len(deltas) != 1 || deltas[0].Ratio != 0 {
+		t.Errorf("zero baseline must not divide: %+v", deltas)
+	}
+}

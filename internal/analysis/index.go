@@ -65,7 +65,19 @@ type Index struct {
 	// insert during the classification pass.
 	prefixOnce  [2]sync.Once
 	prefixCount [2]int
+
+	// Column-direct builds (IndexFromReader) carry no Routes to count
+	// prefixes from; they retain each family's adjacent-deduplicated
+	// encoded prefixes instead, released once the lazy count runs.
+	colPrefixes bool
+	prefixEnc   [2][]byte
+	prefixEnds  [2][]int32
 }
+
+// Snapshot returns the snapshot this index classifies. For a
+// column-direct index it is header-only: Routes is nil, everything
+// else matches the encoded snapshot.
+func (ix *Index) Snapshot() *collector.Snapshot { return ix.snap }
 
 // familyStats holds the per-address-family aggregates of one pass.
 type familyStats struct {
@@ -163,6 +175,9 @@ var (
 // snapshot must not be mutated while indexed analyses run against it
 // (see the Index concurrency contract).
 func IndexFor(s *collector.Snapshot, scheme *dictionary.Scheme) *Index {
+	if ix := pinnedFor(s, scheme); ix != nil {
+		return ix
+	}
 	t := tel()
 	key := indexKey{snap: s, scheme: scheme}
 	indexMu.Lock()
@@ -209,8 +224,14 @@ func InvalidateIndex(s *collector.Snapshot) {
 }
 
 // indexFor is the wrapper dispatch: the shared index when the indexed
-// path is enabled, nil to signal "use the direct twin".
+// path is enabled, nil to signal "use the direct twin". A pinned
+// index (AttachIndex) wins even over the Parallelism()==1 direct
+// dispatch: pinned snapshots may be header-only, leaving the direct
+// twins nothing to walk.
 func indexFor(s *collector.Snapshot, scheme *dictionary.Scheme) *Index {
+	if ix := pinnedFor(s, scheme); ix != nil {
+		return ix
+	}
 	if !useIndex() {
 		return nil
 	}
@@ -223,6 +244,9 @@ func indexFor(s *collector.Snapshot, scheme *dictionary.Scheme) *Index {
 // when nothing is cached; those analyses are cheap enough that
 // building an index just for them would be a net loss.
 func indexForSnapshot(s *collector.Snapshot) *Index {
+	if ix := pinnedFor(s, nil); ix != nil {
+		return ix
+	}
 	if !useIndex() {
 		return nil
 	}
@@ -273,6 +297,7 @@ func NewIndexWorkers(s *collector.Snapshot, scheme *dictionary.Scheme, workers i
 			sp.End()
 		}()
 	}
+	t.builtFrom("routes")
 	ix := &Index{
 		snap:    s,
 		scheme:  scheme,
@@ -846,6 +871,21 @@ func (ix *Index) prefixes(v6 bool) int {
 		f = 1
 	}
 	ix.prefixOnce[f].Do(func() {
+		if ix.colPrefixes {
+			// The retained encodings are canonical (appendPrefix is a
+			// bijection on prefix values), so byte equality is prefix
+			// equality and a string-keyed set counts exactly what the
+			// netip.Prefix set below would.
+			set := make(map[string]struct{}, len(ix.prefixEnds[f]))
+			start := int32(0)
+			for _, end := range ix.prefixEnds[f] {
+				set[string(ix.prefixEnc[f][start:end])] = struct{}{}
+				start = end
+			}
+			ix.prefixCount[f] = len(set)
+			ix.prefixEnc[f], ix.prefixEnds[f] = nil, nil
+			return
+		}
 		set := make(map[netip.Prefix]struct{}, ix.fam[f].usage.RoutesTotal/2+1)
 		for i := range ix.snap.Routes {
 			if r := &ix.snap.Routes[i]; r.IsIPv6() == v6 {

@@ -14,6 +14,7 @@ import (
 type indexMetrics struct {
 	reg          *telemetry.Registry
 	buildSeconds *telemetry.Histogram
+	builds       *telemetry.CounterVec
 	cacheHits    *telemetry.Counter
 	cacheMisses  *telemetry.Counter
 	evictions    *telemetry.Counter
@@ -36,6 +37,8 @@ func SetTelemetry(reg *telemetry.Registry) {
 		reg: reg,
 		buildSeconds: reg.Histogram("ixplight_analysis_index_build_seconds",
 			"Classified-index construction time.", nil),
+		builds: reg.CounterVec("ixplight_analysis_index_builds_total",
+			"Classified-index constructions by source: routes walks a materialized []bgp.Route, columns builds straight off the binary columns.", "source"),
 		cacheHits: reg.Counter("ixplight_analysis_index_cache_hits_total",
 			"Index cache lookups answered by an already-built index."),
 		cacheMisses: reg.Counter("ixplight_analysis_index_cache_misses_total",
@@ -78,6 +81,15 @@ func (t *indexMetrics) cache(entries, dropped int) {
 	}
 	t.cacheEntries.Set(int64(entries))
 	t.evictions.Add(int64(dropped))
+}
+
+// builtFrom counts one index construction by source ("routes" for the
+// materialized walk, "columns" for the column-direct build) — the
+// decode-vs-index-from-columns split.
+func (t *indexMetrics) builtFrom(source string) {
+	if t != nil {
+		t.builds.With(source).Inc()
+	}
 }
 
 // built records one index construction.

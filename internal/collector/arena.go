@@ -1,0 +1,71 @@
+// Arena: reusable decode scratch for the binary route block. A series
+// run (84 days × 8 IXPs) decodes hundreds of route blocks whose intern
+// tables are all roughly the same size; without reuse every decode
+// pays one slab allocation per element type. An Arena keeps those
+// slabs alive between decodes so the steady-state column walk
+// allocates nothing.
+package collector
+
+import (
+	"net/netip"
+
+	"ixplight/internal/bgp"
+)
+
+// Arena owns the backing storage for one decoded route block: the
+// per-element-type slabs plus the intern-table slices whose entries
+// alias them. Decoding into an arena overwrites everything a previous
+// decode handed out — a RouteBlock (and every slice obtained from it)
+// is valid only until the arena's next decode. The zero value is
+// ready to use; an Arena must not be shared by concurrent decodes.
+//
+// The materializing paths (Snapshot, ForEachRoute, LoadSnapshot) never
+// use an arena: their routes alias the decoded tables and are retained
+// by callers indefinitely, so they keep the fresh-allocation decode.
+type Arena struct {
+	pathSlab  []uint32
+	commSlab  []bgp.Community
+	extSlab   []bgp.ExtendedCommunity
+	largeSlab []bgp.LargeCommunity
+
+	nexthops []netip.Addr
+	paths    []bgp.ASPath
+	comms    [][]bgp.Community
+	exts     [][]bgp.ExtendedCommunity
+	larges   [][]bgp.LargeCommunity
+
+	// prefix is the front-coding scratch for RouteBlock.Scan.
+	prefix []byte
+}
+
+// slabFor returns a zero-length slice with capacity exactly n, backed
+// by *store when an arena is in play (store non-nil). The exact
+// capacity is load-bearing: the decoder's per-table truncation checks
+// compare len+n against cap, so a slab must not be able to absorb
+// more elements than the block's element-total prefix declared.
+func slabFor[T any](store *[]T, n int) []T {
+	if store == nil {
+		return make([]T, 0, n)
+	}
+	if cap(*store) < n {
+		*store = make([]T, n)
+	}
+	return (*store)[:0:n]
+}
+
+// tableFor returns a cleared slice of length n for an intern table,
+// backed by *store when an arena is in play. Clearing matters: nil
+// table entries (nil-slice sets) are encoded by absence, so a reused
+// buffer must not leak the previous block's entries through them.
+func tableFor[T any](store *[]T, n int) []T {
+	if store == nil {
+		return make([]T, n)
+	}
+	if cap(*store) < n {
+		*store = make([]T, n)
+		return *store
+	}
+	t := (*store)[:n]
+	clear(t)
+	return t
+}

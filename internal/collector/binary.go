@@ -621,8 +621,36 @@ type binaryRoutes struct {
 	prefixPrev                []byte
 }
 
-// decodeBinaryRoutes parses the route block that follows the header.
+// decodeBinaryRoutes parses the route block that follows the header,
+// allocating fresh slabs the decoded routes may alias forever.
 func decodeBinaryRoutes(r *breader) (*binaryRoutes, error) {
+	return decodeBinaryRoutesArena(r, nil)
+}
+
+// decodeBinaryRoutesArena is decodeBinaryRoutes with the slab and
+// intern-table storage drawn from a (a nil arena allocates fresh).
+// Arena-backed results are valid only until the arena's next decode;
+// see the Arena doc for the aliasing contract.
+func decodeBinaryRoutesArena(r *breader, a *Arena) (*binaryRoutes, error) {
+	var (
+		pathSlabStore  *[]uint32
+		commSlabStore  *[]bgp.Community
+		extSlabStore   *[]bgp.ExtendedCommunity
+		largeSlabStore *[]bgp.LargeCommunity
+
+		nhStore     *[]netip.Addr
+		pathsStore  *[]bgp.ASPath
+		commsStore  *[][]bgp.Community
+		extsStore   *[][]bgp.ExtendedCommunity
+		largesStore *[][]bgp.LargeCommunity
+	)
+	if a != nil {
+		pathSlabStore, commSlabStore = &a.pathSlab, &a.commSlab
+		extSlabStore, largeSlabStore = &a.extSlab, &a.largeSlab
+		nhStore, pathsStore = &a.nexthops, &a.paths
+		commsStore, extsStore, largesStore = &a.comms, &a.exts, &a.larges
+	}
+
 	rb := &binaryRoutes{}
 	var err error
 	if rb.n, rb.isNil, err = r.sliceHeader(); err != nil {
@@ -634,7 +662,7 @@ func decodeBinaryRoutes(r *breader) (*binaryRoutes, error) {
 	if err != nil {
 		return nil, err
 	}
-	rb.nexthops = make([]netip.Addr, nhCount)
+	rb.nexthops = tableFor(nhStore, nhCount)
 	for i := range rb.nexthops {
 		if rb.nexthops[i], err = r.addr(); err != nil {
 			return nil, err
@@ -650,8 +678,8 @@ func decodeBinaryRoutes(r *breader) (*binaryRoutes, error) {
 	if err != nil {
 		return nil, err
 	}
-	pathSlab := make([]uint32, 0, pathElems)
-	rb.paths = make([]bgp.ASPath, pathCount)
+	pathSlab := slabFor(pathSlabStore, pathElems)
+	rb.paths = tableFor(pathsStore, pathCount)
 	for i := range rb.paths {
 		n, isNil, err := r.sliceHeader()
 		if err != nil {
@@ -683,8 +711,8 @@ func decodeBinaryRoutes(r *breader) (*binaryRoutes, error) {
 	if err != nil {
 		return nil, err
 	}
-	commSlab := make([]bgp.Community, 0, commElems)
-	rb.comms = make([][]bgp.Community, commCount)
+	commSlab := slabFor(commSlabStore, commElems)
+	rb.comms = tableFor(commsStore, commCount)
 	for i := range rb.comms {
 		n, isNil, err := r.sliceHeader()
 		if err != nil {
@@ -716,8 +744,8 @@ func decodeBinaryRoutes(r *breader) (*binaryRoutes, error) {
 	if err != nil {
 		return nil, err
 	}
-	extSlab := make([]bgp.ExtendedCommunity, 0, extElems)
-	rb.exts = make([][]bgp.ExtendedCommunity, extCount)
+	extSlab := slabFor(extSlabStore, extElems)
+	rb.exts = tableFor(extsStore, extCount)
 	for i := range rb.exts {
 		n, isNil, err := r.sliceHeader()
 		if err != nil {
@@ -749,8 +777,8 @@ func decodeBinaryRoutes(r *breader) (*binaryRoutes, error) {
 	if err != nil {
 		return nil, err
 	}
-	largeSlab := make([]bgp.LargeCommunity, 0, largeElems)
-	rb.larges = make([][]bgp.LargeCommunity, largeCount)
+	largeSlab := slabFor(largeSlabStore, largeElems)
+	rb.larges = tableFor(largesStore, largeCount)
 	for i := range rb.larges {
 		n, isNil, err := r.sliceHeader()
 		if err != nil {

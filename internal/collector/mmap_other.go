@@ -1,0 +1,24 @@
+//go:build !linux
+
+package collector
+
+import (
+	"io"
+	"os"
+)
+
+// mmapFile on non-linux platforms reads the whole file: OpenSnapshotAt
+// keeps its interface (zero-copy RouteBlock over the returned bytes)
+// without per-platform mmap plumbing; only the out-of-heap property is
+// lost.
+func mmapFile(path string) ([]byte, io.Closer, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, nopCloser{}, nil
+}
+
+type nopCloser struct{}
+
+func (nopCloser) Close() error { return nil }

@@ -5,12 +5,24 @@ import (
 	"bytes"
 	"compress/gzip"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 
 	"ixplight/internal/bgp"
 )
+
+// ErrConsumed reports a second route walk over a reader whose
+// single-shot column cursors are already spent. ForEachRoute and
+// Snapshot return it (test with errors.Is); RouteBlock never does —
+// its cursors are copied per Scan, so it is the multi-pass consumer.
+var ErrConsumed = errors.New("collector: snapshot route block already consumed")
+
+// ErrNotColumnar reports a RouteBlock request against a snapshot that
+// is not in the columnar binary codec; callers fall back to
+// Snapshot() / ForEachRoute.
+var ErrNotColumnar = errors.New("collector: snapshot is not in the columnar binary codec")
 
 // SnapshotReader is the streaming read path over a snapshot file:
 // Header() answers the IXP/date/member-list/partial metadata without
@@ -31,6 +43,15 @@ type SnapshotReader struct {
 	counter  *countingReader
 	size     int64 // total encoded size when known (file stat), else -1
 	consumed bool
+
+	// Buffer mode (NewSnapshotReaderBytes / OpenSnapshotAt): the whole
+	// encoded snapshot as one byte slice — possibly an mmap'd file —
+	// decoded in place with no bufio layer. block caches the raw route
+	// block bytes once located (aliasing buf in buffer mode, read once
+	// from br in stream mode) so RouteBlock and ForEachRoute/Snapshot
+	// can each decode from it independently.
+	buf   []byte
+	block []byte
 
 	// Eager fallback for the non-binary codecs, and the cache once
 	// Snapshot() has materialised a binary file.
@@ -93,6 +114,63 @@ func NewSnapshotReader(r io.Reader, pathHint string) (*SnapshotReader, error) {
 	return sr, nil
 }
 
+// OpenSnapshotAt opens a snapshot file for random-access reads over
+// its raw bytes: on linux the file is mmap'd read-only (a multi-GB
+// dataset directory never fully resides in heap — pages fault in as
+// the columns are walked and drop out under memory pressure), with a
+// whole-file read fallback elsewhere. The returned reader serves the
+// same interface as OpenSnapshot plus zero-copy RouteBlock access.
+// Close unmaps the file: the RouteBlock, its intern tables and any
+// arena-free decode results must not be used after Close.
+func OpenSnapshotAt(path string) (*SnapshotReader, error) {
+	data, closer, err := mmapFile(path)
+	if err != nil {
+		return nil, err
+	}
+	sr, err := NewSnapshotReaderBytes(data, path)
+	if err != nil {
+		closer.Close()
+		return nil, err
+	}
+	sr.closer = closer
+	return sr, nil
+}
+
+// NewSnapshotReaderBytes is NewSnapshotReader over an in-memory
+// encoded snapshot. For CodecBinary the bytes are decoded in place —
+// the header is parsed immediately and the route block aliases data
+// with no copy — so data must stay immutable and alive for the
+// reader's lifetime. The other codecs fall back to an eager decode,
+// exactly like NewSnapshotReader.
+func NewSnapshotReaderBytes(data []byte, pathHint string) (*SnapshotReader, error) {
+	br := bufio.NewReaderSize(bytes.NewReader(data), 1<<12)
+	codec, err := detectCodec(br, pathHint)
+	if err != nil {
+		return nil, err
+	}
+	sr := &SnapshotReader{codec: codec, buf: data, size: int64(len(data))}
+	if codec != CodecBinary {
+		tel := codecTel()
+		t0 := tel.now()
+		full, err := readSnapshot(bytes.NewReader(data), codec)
+		if err != nil {
+			return nil, err
+		}
+		tel.decoded(codec, t0, int64(len(data)), len(full.Routes))
+		sr.full = full
+		sr.header = headerOnly(full)
+		return sr, nil
+	}
+	r := &breader{b: data}
+	head, err := decodeBinaryHeader(r)
+	if err != nil {
+		return nil, err
+	}
+	sr.header = head
+	sr.block = data[r.off:]
+	return sr, nil
+}
+
 // readBinaryPreamble consumes the magic, version and header section
 // from a buffered binary stream.
 func readBinaryPreamble(br *bufio.Reader) (*Snapshot, error) {
@@ -147,13 +225,41 @@ func (sr *SnapshotReader) blockHint() int {
 	return rem + sr.br.Buffered()
 }
 
-// loadBlock reads and parses the binary route block: intern tables
-// into arena slabs, column cursors positioned at route zero.
+// blockBytes returns the raw route-block bytes, reading the rest of
+// the stream on first use (buffer-mode readers located them at open
+// with no copy). The cache is what lifts the read side of the
+// single-shot restriction: RouteBlock and the materializing paths can
+// each decode from it independently.
+func (sr *SnapshotReader) blockBytes() ([]byte, error) {
+	if sr.block == nil {
+		rest, err := readAllHint(sr.br, sr.blockHint())
+		if err != nil {
+			return nil, err
+		}
+		if rest == nil {
+			rest = []byte{}
+		}
+		sr.block = rest
+	}
+	return sr.block, nil
+}
+
+// bytesRead reports the encoded bytes consumed so far, for the codec
+// decode telemetry (buffer-mode readers have no counting reader).
+func (sr *SnapshotReader) bytesRead() int64 {
+	if sr.counter != nil {
+		return sr.counter.n
+	}
+	return sr.size
+}
+
+// loadBlock parses the binary route block: intern tables into arena
+// slabs, column cursors positioned at route zero.
 func (sr *SnapshotReader) loadBlock() error {
 	if sr.rb != nil {
 		return nil
 	}
-	rest, err := readAllHint(sr.br, sr.blockHint())
+	rest, err := sr.blockBytes()
 	if err != nil {
 		return err
 	}
@@ -163,6 +269,40 @@ func (sr *SnapshotReader) loadBlock() error {
 	}
 	sr.rb = rb
 	return nil
+}
+
+// RouteBlock exposes the columnar route block — intern tables plus a
+// re-scannable row cursor — without assembling a single bgp.Route.
+// Only CodecBinary snapshots are columnar; other codecs return
+// ErrNotColumnar and the caller falls back to Snapshot(). Unlike
+// ForEachRoute the result is multi-pass (Scan copies the column
+// cursors, so it can run any number of times) and does not consume
+// the reader: Snapshot() still works afterwards.
+//
+// With a non-nil arena the tables are decoded into its reusable
+// slabs, and the block plus everything reachable from it dies at the
+// arena's next decode. With a nil arena the block owns fresh storage
+// but still aliases the reader's raw block bytes — for a reader from
+// OpenSnapshotAt that is the mmap'd file, so the block also dies at
+// sr.Close.
+func (sr *SnapshotReader) RouteBlock(a *Arena) (*RouteBlock, error) {
+	if sr.codec != CodecBinary {
+		return nil, ErrNotColumnar
+	}
+	rest, err := sr.blockBytes()
+	if err != nil {
+		return nil, err
+	}
+	rb, err := decodeBinaryRoutesArena(&breader{b: rest}, a)
+	if err != nil {
+		return nil, err
+	}
+	b := &RouteBlock{rb: rb}
+	if a != nil {
+		b.prefix = a.prefix[:0]
+		b.arena = a
+	}
+	return b, nil
 }
 
 // ForEachRoute decodes routes in file order, calling fn for each; a
@@ -184,7 +324,7 @@ func (sr *SnapshotReader) ForEachRoute(fn func(bgp.Route) error) error {
 		return nil
 	}
 	if sr.consumed {
-		return fmt.Errorf("collector: snapshot route block already consumed")
+		return ErrConsumed
 	}
 	if err := sr.loadBlock(); err != nil {
 		return err
@@ -203,7 +343,7 @@ func (sr *SnapshotReader) ForEachRoute(fn func(bgp.Route) error) error {
 			}
 		}
 	}
-	tel.decoded(CodecBinary, t0, sr.counter.n, sr.rb.n)
+	tel.decoded(CodecBinary, t0, sr.bytesRead(), sr.rb.n)
 	return nil
 }
 
@@ -213,7 +353,7 @@ func (sr *SnapshotReader) Snapshot() (*Snapshot, error) {
 		return sr.full, nil
 	}
 	if sr.consumed {
-		return nil, fmt.Errorf("collector: snapshot route block already consumed")
+		return nil, ErrConsumed
 	}
 	if err := sr.loadBlock(); err != nil {
 		return nil, err
@@ -232,7 +372,7 @@ func (sr *SnapshotReader) Snapshot() (*Snapshot, error) {
 		}
 	}
 	sr.full = &s
-	tel.decoded(CodecBinary, t0, sr.counter.n, len(s.Routes))
+	tel.decoded(CodecBinary, t0, sr.bytesRead(), len(s.Routes))
 	return sr.full, nil
 }
 

@@ -49,6 +49,12 @@ type Lab struct {
 	// are identical for any value — parallel work lands in ordered
 	// slots.
 	Parallel int
+	// Materialize forces LoadSnapshotDir to decode full []bgp.Route
+	// snapshots even for columnar binary files. By default those files
+	// are indexed column-direct (analysis.IndexFromReader) and carried
+	// as header-only snapshots with the index attached — byte-identical
+	// experiment output, without materializing routes.
+	Materialize bool
 	// Telemetry, when set, records a per-experiment run-time histogram
 	// (ixplight_report_experiment_seconds) and emits a
 	// "report.experiment" span per Run.

@@ -7,7 +7,9 @@ import (
 	"slices"
 	"strings"
 
+	"ixplight/internal/analysis"
 	"ixplight/internal/collector"
+	"ixplight/internal/dictionary"
 	"ixplight/internal/mrt"
 )
 
@@ -19,6 +21,12 @@ import (
 // decoded across the lab's worker pool; the resulting series order is
 // deterministic regardless of worker interleaving because it is
 // re-sorted by date.
+//
+// Columnar binary files of a profiled IXP are, unless l.Materialize
+// is set, indexed straight off their columns: the loaded snapshot is
+// header-only with the classified index attached, and every analysis
+// wrapper answers from the index. Other codecs, MRT dumps and
+// unprofiled IXPs materialize as before.
 func (l *Lab) LoadSnapshotDir(dir string) error {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -30,6 +38,12 @@ func (l *Lab) LoadSnapshotDir(dir string) error {
 			files = append(files, e.Name())
 		}
 	}
+	schemes := make(map[string]*dictionary.Scheme, len(l.Profiles))
+	if !l.Materialize {
+		for _, p := range l.Profiles {
+			schemes[p.IXP] = p.Scheme
+		}
+	}
 	snaps := make([]*collector.Snapshot, len(files))
 	if _, err := runPool(len(files), l.workers(), func(i int) error {
 		path := filepath.Join(dir, files[i])
@@ -38,7 +52,7 @@ func (l *Lab) LoadSnapshotDir(dir string) error {
 		if strings.HasSuffix(files[i], ".mrt") {
 			snap, err = loadMRTFile(path)
 		} else {
-			snap, err = loadSnapshotFile(path)
+			snap, err = loadSnapshotFile(path, schemes)
 		}
 		if err != nil {
 			return fmt.Errorf("load %s: %w", files[i], err)
@@ -62,14 +76,28 @@ func (l *Lab) LoadSnapshotDir(dir string) error {
 }
 
 // loadSnapshotFile decodes one native snapshot file through the
-// streaming reader, so the codec is deduced from the extension or the
-// file's magic bytes.
-func loadSnapshotFile(path string) (*collector.Snapshot, error) {
-	sr, err := collector.OpenSnapshot(path)
+// random-access reader (mmap where the platform provides it), so the
+// codec is deduced from the extension or the file's magic bytes. A
+// columnar file whose IXP has a scheme in schemes is not materialized:
+// the classified index is built column-direct and pinned on the
+// header-only snapshot.
+func loadSnapshotFile(path string, schemes map[string]*dictionary.Scheme) (*collector.Snapshot, error) {
+	sr, err := collector.OpenSnapshotAt(path)
 	if err != nil {
 		return nil, err
 	}
 	defer sr.Close()
+	if sr.Codec() == collector.CodecBinary {
+		if scheme := schemes[sr.Header().IXP]; scheme != nil {
+			ix, err := analysis.IndexFromReader(sr, scheme)
+			if err != nil {
+				return nil, err
+			}
+			s := ix.Snapshot()
+			analysis.AttachIndex(s, ix)
+			return s, nil
+		}
+	}
 	return sr.Snapshot()
 }
 

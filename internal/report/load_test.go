@@ -62,6 +62,70 @@ func TestLoadSnapshotDirCodecIndependence(t *testing.T) {
 	}
 }
 
+// TestLoadSnapshotDirColumnDirect pins the tentpole's end-to-end
+// contract: loading a binary snapshot directory column-direct (the
+// default) produces byte-identical experiment output to loading it
+// with Materialize set — and really does skip materialization (the
+// loaded snapshots are header-only with a pinned index).
+func TestLoadSnapshotDirColumnDirect(t *testing.T) {
+	const (
+		seed  = 42
+		scale = 0.004
+		days  = 3
+	)
+	profiles := ixpgen.BigFour()[:2]
+	binDir := t.TempDir()
+	for _, p := range profiles {
+		opts := ixpgen.TemporalOptions{Seed: seed, Scale: scale, Days: days}
+		for d := 0; d < days; d++ {
+			w, date, err := ixpgen.GenerateDay(p, opts, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := collector.SaveSnapshot(binDir, w.Snapshot(date), collector.CodecBinary); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	run := func(materialize bool) (*Lab, [][]byte) {
+		lab, err := NewLabParallel(profiles, seed, scale, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lab.Materialize = materialize
+		if err := lab.LoadSnapshotDir(binDir); err != nil {
+			t.Fatal(err)
+		}
+		outs, err := lab.RunMany(ExperimentNames)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return lab, outs
+	}
+	colLab, colOuts := run(false)
+	matLab, matOuts := run(true)
+
+	for _, p := range profiles {
+		if colLab.Snapshots[p.IXP].Routes != nil {
+			t.Errorf("%s: column-direct load materialized routes", p.IXP)
+		}
+		if matLab.Snapshots[p.IXP].Routes == nil {
+			t.Errorf("%s: Materialize load produced no routes", p.IXP)
+		}
+		for _, s := range colLab.Series[p.IXP] {
+			if s.Routes != nil {
+				t.Errorf("%s %s: column-direct series snapshot materialized routes", p.IXP, s.Date)
+			}
+		}
+	}
+	for i := range colOuts {
+		if !bytes.Equal(colOuts[i], matOuts[i]) {
+			t.Errorf("%s: output differs between column-direct and materialized loading", ExperimentNames[i])
+		}
+	}
+}
+
 // TestLoadSnapshotDirSeries checks the loader's shape contract:
 // per-IXP series sorted by date, latest snapshot promoted to the
 // point-in-time slot, mixed codecs in one directory.

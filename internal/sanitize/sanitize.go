@@ -8,8 +8,7 @@
 package sanitize
 
 import (
-	"net/netip"
-
+	"ixplight/internal/analysis"
 	"ixplight/internal/collector"
 )
 
@@ -42,12 +41,13 @@ func (o *Options) setDefaults() {
 
 // seriesCounts extracts the member and prefix series the detector
 // inspects (both families combined; a collection failure hits both).
+// Counting per family through analysis.CountSnapshot is exact —
+// address family partitions the prefix set — and lets a pinned or
+// cached index answer without walking routes, so the detector also
+// works on the header-only snapshots column-direct loading produces.
 func seriesCounts(s *collector.Snapshot) (members, prefixes int) {
-	prefixSet := make(map[netip.Prefix]bool)
-	for _, r := range s.Routes {
-		prefixSet[r.Prefix] = true
-	}
-	return len(s.Members), len(prefixSet)
+	p := analysis.CountSnapshot(s, false).Prefixes + analysis.CountSnapshot(s, true).Prefixes
+	return len(s.Members), p
 }
 
 // DetectValleys returns the indices of valley snapshots in the series.
