@@ -12,7 +12,12 @@
 // per IXP instead. Columnar binary snapshot files are indexed
 // straight off their columns by default (no []bgp.Route is ever
 // materialized); -materialize restores the decode-then-classify
-// loading path. Either way the experiment output is byte-identical.
+// loading path. Delta chains (a day-0 .bin plus daily .delta files,
+// as written by `ixpgen -codec delta` or `collect -codec delta`) are
+// walked incrementally: each day's index advances from the previous
+// day's by applying the delta; -no-incremental applies the deltas
+// but rebuilds each day's index from its own columns instead. Every
+// path produces byte-identical experiment output.
 //
 // -parallel bounds the worker pools: experiments fan out across the
 // pool, each writing to an ordered buffer, so the output is
@@ -45,6 +50,8 @@ func main() {
 		"worker budget for generation, analysis and experiments (1 = sequential direct-classify path)")
 	materialize := flag.Bool("materialize", false,
 		"decode full routes when loading -snapshots instead of indexing columnar files column-direct")
+	noIncremental := flag.Bool("no-incremental", false,
+		"reconstruct -snapshots delta chains through a materializing apply instead of advancing each day's index incrementally")
 	flag.Parse()
 
 	analysis.SetParallelism(*parallel)
@@ -60,6 +67,7 @@ func main() {
 		// -parallel 1 promises the original direct-classify pipeline,
 		// which needs materialized routes to walk.
 		lab.Materialize = *materialize || *parallel == 1
+		lab.NoIncremental = *noIncremental
 		if err := lab.LoadSnapshotDir(*snapshotDir); err != nil {
 			fatal(err)
 		}

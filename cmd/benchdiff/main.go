@@ -12,10 +12,13 @@
 //	benchdiff OLD.json NEW.json  # explicit pair
 //
 // Only benchmarks matching -filter are guarded (default: the
-// snapshot-codec and index-construction suites, the repo's two
+// snapshot-codec, delta-codec and index suites — the repo's
 // perf-critical paths). Benchmarks present on one side only are
 // reported but never fail the run — machines and dates differ, the
-// gate is for regressions in what both runs measured.
+// gate is for regressions in what both runs measured. Unguarded
+// benchmarks appearing or disappearing between the runs are listed
+// too, as informational added/removed lines, so a renamed or dropped
+// suite is visible instead of silently leaving the report.
 package main
 
 import (
@@ -56,7 +59,7 @@ type Delta struct {
 func main() {
 	dir := flag.String("dir", ".", "directory scanned for BENCH_*.json when files are not given")
 	threshold := flag.Float64("threshold", 0.20, "maximum tolerated ns/op growth (0.20 = +20%)")
-	filter := flag.String("filter", "^(SnapshotCodec|SnapshotStream|Index)",
+	filter := flag.String("filter", "^(SnapshotCodec|SnapshotStream|SnapshotDelta|SeriesAdvance|SeriesFullRebuild|Index)",
 		"regexp selecting the guarded benchmarks (matched against the name without the Benchmark prefix)")
 	flag.Parse()
 
@@ -108,12 +111,18 @@ func main() {
 	}
 	fmt.Printf("benchdiff: %s (%s) vs %s (%s)\n", oldPath, oldRep.Date, newPath, newRep.Date)
 
-	deltas, onlyOld, onlyNew := compare(oldRep, newRep, re)
+	deltas, onlyOld, onlyNew, removed, added := compare(oldRep, newRep, re)
 	for _, k := range onlyOld {
-		fmt.Printf("  gone:   %s\n", k)
+		fmt.Printf("  gone:    %s\n", k)
 	}
 	for _, k := range onlyNew {
-		fmt.Printf("  new:    %s\n", k)
+		fmt.Printf("  new:     %s\n", k)
+	}
+	for _, k := range removed {
+		fmt.Printf("  removed: %s (unguarded)\n", k)
+	}
+	for _, k := range added {
+		fmt.Printf("  added:   %s (unguarded)\n", k)
 	}
 	failed := false
 	for _, d := range deltas {
@@ -163,20 +172,30 @@ func key(r Result) string {
 }
 
 // compare pairs the guarded benchmarks of both reports by key and
-// computes their ns/op deltas, plus the keys present on one side only.
-func compare(oldRep, newRep *Report, guarded *regexp.Regexp) (deltas []Delta, onlyOld, onlyNew []string) {
+// computes their ns/op deltas, plus the guarded keys present on one
+// side only (gone/new) and the unguarded one-side-only keys
+// (removed/added) — informational, never failing.
+func compare(oldRep, newRep *Report, guarded *regexp.Regexp) (deltas []Delta, onlyOld, onlyNew, removed, added []string) {
 	olds := map[string]float64{}
+	oldKeys := map[string]bool{}
 	for _, r := range oldRep.Benchmarks {
+		k := key(r)
+		oldKeys[k] = true
 		if guarded.MatchString(r.Name) {
-			olds[key(r)] = r.Metrics["ns/op"]
+			olds[k] = r.Metrics["ns/op"]
 		}
 	}
 	seen := map[string]bool{}
+	newKeys := map[string]bool{}
 	for _, r := range newRep.Benchmarks {
+		k := key(r)
+		newKeys[k] = true
 		if !guarded.MatchString(r.Name) {
+			if !oldKeys[k] {
+				added = append(added, k)
+			}
 			continue
 		}
-		k := key(r)
 		seen[k] = true
 		old, ok := olds[k]
 		if !ok {
@@ -189,6 +208,11 @@ func compare(oldRep, newRep *Report, guarded *regexp.Regexp) (deltas []Delta, on
 		}
 		deltas = append(deltas, d)
 	}
+	for _, r := range oldRep.Benchmarks {
+		if k := key(r); !guarded.MatchString(r.Name) && !newKeys[k] {
+			removed = append(removed, k)
+		}
+	}
 	for k := range olds {
 		if !seen[k] {
 			onlyOld = append(onlyOld, k)
@@ -197,7 +221,9 @@ func compare(oldRep, newRep *Report, guarded *regexp.Regexp) (deltas []Delta, on
 	sort.Slice(deltas, func(i, j int) bool { return deltas[i].Ratio > deltas[j].Ratio })
 	sort.Strings(onlyOld)
 	sort.Strings(onlyNew)
-	return deltas, onlyOld, onlyNew
+	sort.Strings(removed)
+	sort.Strings(added)
+	return deltas, onlyOld, onlyNew, removed, added
 }
 
 func fatal(err error) {

@@ -18,14 +18,16 @@ func TestCompare(t *testing.T) {
 		res("IndexFromColumns", 2000),
 		res("IndexGone", 500),
 		res("Unguarded", 10),
+		res("UnguardedDropped", 11),
 	)
 	newRep := rep(
 		res("SnapshotCodec/binary", 1300), // +30%
 		res("IndexFromColumns", 1900),     // -5%
 		res("IndexFresh", 700),
 		res("Unguarded", 99999),
+		res("UnguardedFresh", 12),
 	)
-	deltas, onlyOld, onlyNew := compare(oldRep, newRep, guard)
+	deltas, onlyOld, onlyNew, removed, added := compare(oldRep, newRep, guard)
 	if len(deltas) != 2 {
 		t.Fatalf("deltas: %+v", deltas)
 	}
@@ -42,11 +44,19 @@ func TestCompare(t *testing.T) {
 	if len(onlyNew) != 1 || onlyNew[0] != "p.IndexFresh-1" {
 		t.Errorf("onlyNew: %v", onlyNew)
 	}
+	// One-side-only unguarded benchmarks surface as informational
+	// added/removed lines instead of vanishing from the report.
+	if len(removed) != 1 || removed[0] != "p.UnguardedDropped-1" {
+		t.Errorf("removed: %v", removed)
+	}
+	if len(added) != 1 || added[0] != "p.UnguardedFresh-1" {
+		t.Errorf("added: %v", added)
+	}
 }
 
 func TestCompareZeroBaseline(t *testing.T) {
 	guard := regexp.MustCompile("Index")
-	deltas, _, _ := compare(rep(res("Index", 0)), rep(res("Index", 100)), guard)
+	deltas, _, _, _, _ := compare(rep(res("Index", 0)), rep(res("Index", 100)), guard)
 	if len(deltas) != 1 || deltas[0].Ratio != 0 {
 		t.Errorf("zero baseline must not divide: %+v", deltas)
 	}

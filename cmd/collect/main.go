@@ -6,7 +6,7 @@
 // Usage:
 //
 //	collect -url http://localhost:8080 [-date 2021-10-04] [-out ./data]
-//	        [-codec json|json.gz|gob|gob.gz|binary|mrt] [-interval 100ms] [-retries 5]
+//	        [-codec json|json.gz|gob|gob.gz|binary|mrt|delta] [-interval 100ms] [-retries 5]
 //	        [-partial] [-resume] [-checkpoint path] [-neighbor-parallel 1]
 //	        [-neighbor-retries 1] [-error-budget 0] [-request-timeout 30s]
 //	        [-metrics-addr :9100]
@@ -16,6 +16,11 @@
 // the snapshot. With -metrics-addr the same registry is additionally
 // served live on /metrics, /debug/vars and /debug/pprof while the
 // crawl runs.
+//
+// -codec delta grows a snapshot chain in -out instead of standalone
+// files: the IXP's first day is stored as a full binary snapshot, and
+// every later run appends one .delta file encoding just that day's
+// churn against the previous day.
 package main
 
 import (
@@ -25,7 +30,10 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 	"time"
 
 	"ixplight/internal/collector"
@@ -38,7 +46,7 @@ func main() {
 	url := flag.String("url", "http://localhost:8080", "looking glass base URL")
 	date := flag.String("date", time.Now().UTC().Format("2006-01-02"), "snapshot date stamp")
 	out := flag.String("out", "./data", "output directory")
-	codecName := flag.String("codec", "json.gz", "snapshot codec: json, json.gz, gob, gob.gz, binary, mrt")
+	codecName := flag.String("codec", "json.gz", "snapshot codec: json, json.gz, gob, gob.gz, binary, mrt, delta")
 	interval := flag.Duration("interval", 50*time.Millisecond, "minimum delay between LG requests")
 	retries := flag.Int("retries", 5, "retries per failed request")
 	timeout := flag.Duration("timeout", 10*time.Minute, "overall collection deadline")
@@ -65,8 +73,9 @@ func main() {
 	}
 
 	asMRT := *codecName == "mrt"
+	asDelta := *codecName == "delta"
 	var codec collector.Codec
-	if !asMRT {
+	if !asMRT && !asDelta {
 		var err error
 		codec, err = parseCodec(*codecName)
 		if err != nil {
@@ -130,9 +139,12 @@ func main() {
 		log.Fatal(err)
 	}
 	var path string
-	if asMRT {
+	switch {
+	case asMRT:
 		path, err = saveMRT(*out, snap)
-	} else {
+	case asDelta:
+		path, err = saveDelta(*out, snap)
+	default:
 		path, err = collector.SaveSnapshot(*out, snap, codec)
 	}
 	if err != nil {
@@ -160,6 +172,100 @@ func main() {
 	if telPath != "" {
 		log.Printf("telemetry archived → %s", telPath)
 	}
+}
+
+// saveDelta appends the snapshot to its IXP's delta chain in dir: the
+// first day of a chain is written as a full binary snapshot (the
+// base), every later day as a .delta against the previous one. The
+// chain is discovered by reading headers, not filenames, so files
+// renamed by hand still chain correctly.
+func saveDelta(dir string, snap *collector.Snapshot) (string, error) {
+	app, tipDate, err := chainTip(dir, snap.IXP)
+	if err != nil {
+		return "", err
+	}
+	if app == nil {
+		return collector.SaveSnapshot(dir, snap, collector.CodecBinary)
+	}
+	if tipDate >= snap.Date {
+		return "", fmt.Errorf("delta chain for %s already ends at %s, refusing to append %s", snap.IXP, tipDate, snap.Date)
+	}
+	buf, err := app.Encoder().Encode(snap)
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, fmt.Sprintf("%s-%s%s", snap.IXP, snap.Date, collector.DeltaExt))
+	if err := collector.AtomicWrite(path, func(w io.Writer) error {
+		_, werr := w.Write(buf)
+		return werr
+	}); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// chainTip reconstructs the current tip of ixp's delta chain in dir:
+// the newest full binary snapshot plus every delta that extends it, in
+// date order. Returns a nil applier when dir holds no chain for ixp
+// yet (the caller then writes the base).
+func chainTip(dir, ixp string) (*collector.DeltaApplier, string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, "", nil
+		}
+		return nil, "", err
+	}
+	var base *collector.Snapshot
+	var deltas []*collector.DeltaReader
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		if strings.HasSuffix(e.Name(), collector.DeltaExt) {
+			dr, err := collector.OpenDelta(path)
+			if err != nil {
+				return nil, "", fmt.Errorf("%s: %w", e.Name(), err)
+			}
+			if dr.Header().IXP == ixp {
+				deltas = append(deltas, dr)
+			}
+			continue
+		}
+		if !strings.HasSuffix(e.Name(), ".bin") {
+			continue
+		}
+		s, err := collector.LoadSnapshot(path)
+		if err != nil {
+			return nil, "", fmt.Errorf("%s: %w", e.Name(), err)
+		}
+		if s.IXP == ixp && (base == nil || s.Date < base.Date) {
+			base = s
+		}
+	}
+	if base == nil {
+		if len(deltas) > 0 {
+			return nil, "", fmt.Errorf("found %d delta files for %s but no binary base snapshot", len(deltas), ixp)
+		}
+		return nil, "", nil
+	}
+	app, err := collector.NewDeltaApplier(base)
+	if err != nil {
+		return nil, "", err
+	}
+	sort.Slice(deltas, func(i, j int) bool {
+		return deltas[i].Header().Date < deltas[j].Header().Date
+	})
+	tip := base.Date
+	for _, dr := range deltas {
+		s, err := app.Apply(dr)
+		if err != nil {
+			return nil, "", fmt.Errorf("reconstructing %s chain at %s: %w", ixp, dr.Header().Date, err)
+		}
+		tip = s.Date
+	}
+	return app, tip, nil
 }
 
 // saveMRT writes the snapshot as a RouteViews-style TABLE_DUMP_V2

@@ -7,12 +7,21 @@
 //
 //	ixpgen [-out ./dataset] [-ixps big4|all|NAME,...] [-days 84]
 //	       [-scale 0.02] [-seed 42] [-codec json.gz] [-valleys 9,41]
+//	       [-churn 0.03]
+//
+// By default every day is generated independently (GenerateDay). With
+// -churn each IXP's series is instead evolved day over day: day N is
+// day N-1 with the given fraction of routes withdrawn, re-tagged or
+// flapped plus fresh announcements and weekly member churn — the
+// realistic input for -codec delta, which stores day 0 as a full
+// binary snapshot and every later day as a .delta file.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"path/filepath"
@@ -31,9 +40,11 @@ func main() {
 	days := flag.Int("days", 84, "number of daily snapshots (84 = twelve weeks)")
 	scale := flag.Float64("scale", 0.02, "workload scale")
 	seed := flag.Int64("seed", 42, "generation seed")
-	codecName := flag.String("codec", "json.gz", "snapshot codec: json, json.gz, gob, gob.gz, binary")
+	codecName := flag.String("codec", "json.gz", "snapshot codec: json, json.gz, gob, gob.gz, binary, delta")
 	valleySpec := flag.String("valleys", "", "comma-separated day offsets with injected collection failures")
 	profilePath := flag.String("profile", "", "JSON file with a custom IXP profile (overrides -ixps)")
+	churn := flag.Float64("churn", 0,
+		"evolve each series day over day with this route-churn fraction instead of regenerating every day (0 = independent days; -codec delta implies 0.03)")
 	flag.Parse()
 
 	var profiles []ixpgen.Profile
@@ -50,9 +61,18 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	codec, err := parseCodec(*codecName)
-	if err != nil {
-		log.Fatal(err)
+	asDelta := *codecName == "delta"
+	var codec collector.Codec
+	if !asDelta {
+		codec, err = parseCodec(*codecName)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	if asDelta && *churn <= 0 {
+		// A delta chain over independently regenerated days would
+		// encode nearly every route as churn; evolve instead.
+		*churn = 0.03
 	}
 	valleys, err := parseValleys(*valleySpec)
 	if err != nil {
@@ -66,6 +86,15 @@ func main() {
 			Seed: *seed, Scale: *scale, Days: *days, ValleyDays: valleys,
 		}
 		dir := filepath.Join(*out, "snapshots")
+		if *churn > 0 {
+			n, err := writeEvolvedSeries(dir, p, opts, *churn, asDelta, codec)
+			if err != nil {
+				log.Fatal(err)
+			}
+			files += n
+			log.Printf("%s: %d evolved daily snapshots (churn %.3f)", p.IXP, *days, *churn)
+			continue
+		}
 		for d := 0; d < *days; d++ {
 			w, date, err := ixpgen.GenerateDay(p, opts, d)
 			if err != nil {
@@ -85,6 +114,40 @@ func main() {
 	}
 	log.Printf("dataset complete: %d snapshot files + dictionary.json in %s (%v)",
 		files, *out, time.Since(start).Round(time.Millisecond))
+}
+
+// writeEvolvedSeries generates one IXP's day-over-day evolved series
+// in a single run. With asDelta set, day 0 is saved as a full binary
+// snapshot and every later day as one .delta file against the
+// previous day; otherwise each day is a standalone file in codec.
+func writeEvolvedSeries(dir string, p ixpgen.Profile, opts ixpgen.TemporalOptions, churn float64, asDelta bool, codec collector.Codec) (int, error) {
+	files := 0
+	var enc *collector.DeltaEncoder
+	err := ixpgen.EvolveSeries(p, opts, churn, func(day int, snap *collector.Snapshot) error {
+		files++
+		if !asDelta {
+			_, err := collector.SaveSnapshot(dir, snap, codec)
+			return err
+		}
+		if day == 0 {
+			if _, err := collector.SaveSnapshot(dir, snap, collector.CodecBinary); err != nil {
+				return err
+			}
+			var err error
+			enc, err = collector.NewDeltaEncoder(snap)
+			return err
+		}
+		buf, err := enc.Encode(snap)
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(dir, fmt.Sprintf("%s-%s%s", snap.IXP, snap.Date, collector.DeltaExt))
+		return collector.AtomicWrite(path, func(w io.Writer) error {
+			_, werr := w.Write(buf)
+			return werr
+		})
+	})
+	return files, err
 }
 
 // writeDictionary dumps the combined per-IXP community dictionary —

@@ -72,6 +72,11 @@ type Index struct {
 	colPrefixes bool
 	prefixEnc   [2][]byte
 	prefixEnds  [2][]int32
+
+	// series is the incremental chain state of a series-built index
+	// (IndexSeriesFromReader / Advance); nil for every other build.
+	// Only the chain's newest index — the state's owner — may Advance.
+	series *seriesState
 }
 
 // Snapshot returns the snapshot this index classifies. For a
@@ -83,7 +88,13 @@ func (ix *Index) Snapshot() *collector.Snapshot { return ix.snap }
 type familyStats struct {
 	// commCounts is each route's total community count (all flavours),
 	// in snapshot route order — the §5.6 hygiene distribution.
+	// Incrementally maintained indexes (Index.Advance) carry the same
+	// distribution as a histogram instead (commHist, count → routes),
+	// because a positional slice cannot be patched under adds and
+	// removals at arbitrary route positions; both §5.6 consumers are
+	// order-independent, so either representation answers identically.
 	commCounts    []int
+	commHist      map[int]int
 	commInstances int
 
 	mix     Mix
@@ -432,6 +443,16 @@ func (m *classMemo) grow() {
 			m.put(bgp.Community(k-1), oldVals[i])
 		}
 	}
+}
+
+// clone returns an independent copy of the memo — two slice copies.
+// Advance snapshots the chain's growing memo per day with it, so each
+// day's index stays immutable while the chain classifies on.
+func (m *classMemo) clone() *classMemo {
+	c := *m
+	c.slots = append([]uint32(nil), m.slots...)
+	c.vals = append([]dictionary.Class(nil), m.vals...)
+	return &c
 }
 
 // each visits every memoized (community, class) pair, in no
@@ -848,19 +869,38 @@ func (ix *Index) CategoryBreakdown(reg *asdb.Registry, v6 bool) CategoryBreakdow
 	}
 }
 
+// countsSlice materializes the family's per-route community counts:
+// the positional slice when the index carries one, otherwise a fresh
+// expansion of the histogram (arbitrary order — both consumers are
+// order-independent). The result is freshly allocated either way and
+// safe to sort in place.
+func (st *familyStats) countsSlice() []int {
+	if st.commCounts != nil || st.commHist == nil {
+		return append([]int(nil), st.commCounts...)
+	}
+	counts := make([]int, 0, st.usage.RoutesTotal)
+	for c, n := range st.commHist {
+		for i := 0; i < n; i++ {
+			counts = append(counts, c)
+		}
+	}
+	return counts
+}
+
 // HygieneFilterImpact evaluates the §5.6 filter at each threshold.
 func (ix *Index) HygieneFilterImpact(v6 bool, thresholds []int) []HygieneImpact {
 	st := ix.family(v6)
-	return hygieneImpacts(st.commCounts, st.commInstances, thresholds)
+	if st.commCounts != nil || st.commHist == nil {
+		return hygieneImpacts(st.commCounts, st.commInstances, thresholds)
+	}
+	return hygieneImpacts(st.countsSlice(), st.commInstances, thresholds)
 }
 
 // CommunityCountPercentiles summarises the per-route community count
 // distribution at the given percentiles.
 func (ix *Index) CommunityCountPercentiles(v6 bool, percentiles []float64) []int {
 	st := ix.family(v6)
-	counts := make([]int, len(st.commCounts))
-	copy(counts, st.commCounts)
-	return countPercentiles(counts, percentiles)
+	return countPercentiles(st.countsSlice(), percentiles)
 }
 
 // prefixes lazily counts the family's distinct prefixes — the only

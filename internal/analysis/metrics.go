@@ -38,7 +38,7 @@ func SetTelemetry(reg *telemetry.Registry) {
 		buildSeconds: reg.Histogram("ixplight_analysis_index_build_seconds",
 			"Classified-index construction time.", nil),
 		builds: reg.CounterVec("ixplight_analysis_index_builds_total",
-			"Classified-index constructions by source: routes walks a materialized []bgp.Route, columns builds straight off the binary columns.", "source"),
+			"Classified-index constructions by source: routes walks a materialized []bgp.Route, columns builds straight off the binary columns, delta advances the previous day's index by a snapshot delta.", "source"),
 		cacheHits: reg.Counter("ixplight_analysis_index_cache_hits_total",
 			"Index cache lookups answered by an already-built index."),
 		cacheMisses: reg.Counter("ixplight_analysis_index_cache_misses_total",
@@ -84,8 +84,8 @@ func (t *indexMetrics) cache(entries, dropped int) {
 }
 
 // builtFrom counts one index construction by source ("routes" for the
-// materialized walk, "columns" for the column-direct build) — the
-// decode-vs-index-from-columns split.
+// materialized walk, "columns" for the column-direct build, "delta"
+// for an incremental Advance) — the rebuild-vs-advance split.
 func (t *indexMetrics) builtFrom(source string) {
 	if t != nil {
 		t.builds.With(source).Inc()

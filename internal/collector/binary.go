@@ -109,7 +109,18 @@ func appendBinarySnapshot(buf []byte, s *Snapshot) []byte {
 	// Header section, byte-length-prefixed so a streaming reader can
 	// answer Header() after reading exactly this many bytes, without
 	// touching the route block.
-	var hdr []byte
+	hdr := appendHeaderSection(nil, s)
+	buf = appendUvarint(buf, uint64(len(hdr)))
+	buf = append(buf, hdr...)
+
+	return appendBinaryRoutes(buf, s.Routes)
+}
+
+// appendHeaderSection encodes the header-section fields (everything
+// but the route block) into hdr. The delta codec reuses this to carry
+// day N's full header inside a delta file, so header layout changes
+// stay in one place.
+func appendHeaderSection(hdr []byte, s *Snapshot) []byte {
 	hdr = appendString(hdr, s.IXP)
 	hdr = appendString(hdr, s.Date)
 	hdr = appendSvarint(hdr, int64(s.FilteredCount))
@@ -138,10 +149,7 @@ func appendBinarySnapshot(buf []byte, s *Snapshot) []byte {
 		hdr = appendString(hdr, e.Err)
 		hdr = appendSvarint(hdr, int64(e.Attempts))
 	}
-	buf = appendUvarint(buf, uint64(len(hdr)))
-	buf = append(buf, hdr...)
-
-	return appendBinaryRoutes(buf, s.Routes)
+	return hdr
 }
 
 // appendBinaryRoutes encodes the route block: intern tables first,

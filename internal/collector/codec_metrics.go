@@ -19,6 +19,12 @@ type codecMetrics struct {
 	decodeRoutes  *telemetry.CounterVec   // routes decoded, by codec
 	internHits    *telemetry.CounterVec   // encode-side intern table hits, by table
 	internMisses  *telemetry.CounterVec   // encode-side intern table misses (new entries)
+
+	deltaEncodeSeconds *telemetry.Histogram  // delta encode wall time
+	deltaEncodeBytes   *telemetry.Counter    // delta bytes produced
+	deltaApplySeconds  *telemetry.Histogram  // delta apply wall time
+	deltaApplyRoutes   *telemetry.Counter    // routes materialized by delta application
+	deltaOps           *telemetry.CounterVec // route ops encoded, by op kind
 }
 
 var codecTelPtr atomic.Pointer[codecMetrics]
@@ -43,6 +49,16 @@ func SetTelemetry(reg *telemetry.Registry) {
 			"Binary-codec encode lookups answered by an existing intern-table entry, by table.", "table"),
 		internMisses: reg.CounterVec("ixplight_codec_intern_misses_total",
 			"Binary-codec encode lookups that created a new intern-table entry, by table.", "table"),
+		deltaEncodeSeconds: reg.Histogram("ixplight_codec_delta_encode_seconds",
+			"Snapshot delta encode wall time.", nil),
+		deltaEncodeBytes: reg.Counter("ixplight_codec_delta_encode_bytes_total",
+			"Encoded snapshot delta bytes produced."),
+		deltaApplySeconds: reg.Histogram("ixplight_codec_delta_apply_seconds",
+			"Snapshot delta apply wall time.", nil),
+		deltaApplyRoutes: reg.Counter("ixplight_codec_delta_apply_routes_total",
+			"Routes materialized by snapshot delta application."),
+		deltaOps: reg.CounterVec("ixplight_codec_delta_ops_total",
+			"Route ops encoded into snapshot deltas, by op kind (copy counts runs, not routes).", "op"),
 	})
 }
 
@@ -78,4 +94,27 @@ func (t *codecMetrics) interned(table string, hits, misses int64) {
 	}
 	t.internHits.With(table).Add(hits)
 	t.internMisses.With(table).Add(misses)
+}
+
+// deltaEncoded records one finished delta encode: wall time, output
+// size and the op mix (copies count runs, not the routes they cover).
+func (t *codecMetrics) deltaEncoded(t0 time.Time, bytes int64, copies, adds, dels, changes int64) {
+	if t == nil {
+		return
+	}
+	t.deltaEncodeSeconds.ObserveSince(t0)
+	t.deltaEncodeBytes.Add(bytes)
+	t.deltaOps.With("copy").Add(copies)
+	t.deltaOps.With("add").Add(adds)
+	t.deltaOps.With("del").Add(dels)
+	t.deltaOps.With("change").Add(changes)
+}
+
+// deltaApplied records one finished delta application.
+func (t *codecMetrics) deltaApplied(t0 time.Time, routes int) {
+	if t == nil {
+		return
+	}
+	t.deltaApplySeconds.ObserveSince(t0)
+	t.deltaApplyRoutes.Add(int64(routes))
 }

@@ -1,0 +1,1157 @@
+// Delta snapshot codec: day N of a daily RIB series stored as edits
+// against day N-1 instead of a full table. Consecutive IXP snapshots
+// overlap overwhelmingly (the paper's twelve-week series re-announces
+// almost every route every day), so a delta carries only the churn:
+// intern-table *extensions* (next-hops, AS paths and community sets
+// first seen on day N, appended to the base tables so existing ids
+// keep meaning the same value along the whole chain) plus a varint op
+// stream of add / remove / attr-change route edits keyed by
+// (prefix, peer). The format is self-describing — "IXPD" magic,
+// version, digests of both endpoints — and chains verify: a delta
+// refuses to apply to anything but the exact base it was encoded
+// against.
+//
+// Three access layers mirror the full binary codec:
+//
+//   - EncodeDelta / DeltaEncoder: day N vs day N-1 → delta bytes.
+//     The stateful encoder carries the chain's intern tables forward
+//     so a whole series can be encoded with each day diffed in one
+//     merge pass over two sorted route slices.
+//   - ApplyDelta / DeltaApplier: base + delta → day N snapshot.
+//     The stateful applier reconstructs a chain day by day, reusing
+//     interned attribute values across days.
+//   - DeltaReader: header + table extensions + op stream without
+//     materializing any route (the RouteBlock analogue), which is
+//     what analysis.Index.Advance consumes.
+package collector
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"net/netip"
+	"os"
+
+	"ixplight/internal/bgp"
+)
+
+const deltaMagic = "IXPD"
+const deltaVersion = 1
+
+// DeltaExt is the file extension for delta-encoded snapshots; deltas
+// live outside the Codec enum (like .mrt archives) because a delta
+// file is not self-contained — it needs its base to materialize.
+const DeltaExt = ".delta"
+
+// ErrDeltaBaseMismatch reports a delta applied to (or advanced from)
+// a snapshot that is not the base it was encoded against.
+var ErrDeltaBaseMismatch = errors.New("collector: delta base mismatch")
+
+var errDeltaCorrupt = errors.New("collector: snapshot delta corrupt")
+
+// IsDelta reports whether data starts with the delta magic.
+func IsDelta(data []byte) bool {
+	return len(data) >= len(deltaMagic) && string(data[:len(deltaMagic)]) == deltaMagic
+}
+
+// SnapshotDigest is the canonical identity of a snapshot's content:
+// the sha256 of its CodecBinary encoding. For a snapshot written with
+// SaveSnapshot(..., CodecBinary) this equals the sha256 of the file
+// bytes, so chain verification works against files without decoding.
+func SnapshotDigest(s *Snapshot) [sha256.Size]byte {
+	return sha256.Sum256(appendBinarySnapshot(nil, s))
+}
+
+// Digest returns the sha256 of the reader's CodecBinary encoding.
+// Available only for binary snapshots opened in random-access mode
+// (OpenSnapshotAt, NewSnapshotReaderBytes); otherwise ok is false.
+func (sr *SnapshotReader) Digest() (sum [sha256.Size]byte, ok bool) {
+	if sr.codec != CodecBinary || sr.buf == nil {
+		return sum, false
+	}
+	return sha256.Sum256(sr.buf), true
+}
+
+// --- chain intern tables --------------------------------------------------
+
+// Table indices for the five interned attribute tables, in wire order.
+const (
+	tabNH = iota
+	tabPath
+	tabComm
+	tabExt
+	tabLarge
+	numTabs
+)
+
+// rowIDs is one route's attribute ids in the chain table space.
+type rowIDs [numTabs]uint64
+
+// deltaTables is the chain's append-only id space: the base
+// snapshot's tables in canonical (first-appearance) order, extended
+// by each delta in turn, never shrunk. Both endpoints of a delta —
+// encoder and applier/Advance — grow identical tables in lockstep, so
+// an id means the same value on both sides for the chain's lifetime.
+type deltaTables struct {
+	tabs [numTabs]*interner
+}
+
+func newDeltaTables() *deltaTables {
+	var t deltaTables
+	for i := range t.tabs {
+		t.tabs[i] = newInterner()
+	}
+	return &t
+}
+
+func (t *deltaTables) sizes() (s [numTabs]int) {
+	for i, it := range t.tabs {
+		s[i] = len(it.idx)
+	}
+	return s
+}
+
+// Attribute key encodings — identical to the intern keys (and table
+// body encodings) of appendBinaryRoutes, so extension bodies are just
+// the concatenated keys of the new entries.
+
+func appendPathKey(b []byte, p bgp.ASPath) []byte {
+	b = appendSliceHeader(b, len(p), p == nil)
+	for _, asn := range p {
+		b = appendUvarint(b, uint64(asn))
+	}
+	return b
+}
+
+func appendCommKey(b []byte, cs []bgp.Community) []byte {
+	b = appendSliceHeader(b, len(cs), cs == nil)
+	for _, c := range cs {
+		b = appendUvarint(b, uint64(c))
+	}
+	return b
+}
+
+func appendExtKey(b []byte, es []bgp.ExtendedCommunity) []byte {
+	b = appendSliceHeader(b, len(es), es == nil)
+	for _, e := range es {
+		b = append(b, e[:]...)
+	}
+	return b
+}
+
+func appendLargeKey(b []byte, ls []bgp.LargeCommunity) []byte {
+	b = appendSliceHeader(b, len(ls), ls == nil)
+	for _, l := range ls {
+		b = appendUvarint(b, uint64(l.Global))
+		b = appendUvarint(b, uint64(l.Local1))
+		b = appendUvarint(b, uint64(l.Local2))
+	}
+	return b
+}
+
+// internRoute resolves r's five attributes to chain ids, calling
+// onNew(tab, key, elems) for each value seen for the first time (key
+// is the canonical encoding, elems the value's element count).
+// scratch is reused across calls; the grown slice is returned.
+func (t *deltaTables) internRoute(scratch []byte, r *bgp.Route, onNew func(tab int, key []byte, elems int)) (rowIDs, []byte) {
+	var ids rowIDs
+	intern := func(tab, elems int) {
+		idx, isNew := t.tabs[tab].intern(scratch)
+		ids[tab] = idx
+		if isNew && onNew != nil {
+			onNew(tab, scratch, elems)
+		}
+	}
+	scratch = appendAddr(scratch[:0], r.NextHop)
+	intern(tabNH, 0)
+	scratch = appendPathKey(scratch[:0], r.ASPath)
+	intern(tabPath, len(r.ASPath))
+	scratch = appendCommKey(scratch[:0], r.Communities)
+	intern(tabComm, len(r.Communities))
+	scratch = appendExtKey(scratch[:0], r.ExtCommunities)
+	intern(tabExt, len(r.ExtCommunities))
+	scratch = appendLargeKey(scratch[:0], r.LargeCommunities)
+	intern(tabLarge, len(r.LargeCommunities))
+	return ids, scratch
+}
+
+// routeCompare is Normalize's sort order (family, prefix address,
+// prefix length, peer AS) — the delta merge key. It deliberately
+// compares the parsed fields, not encoded bytes, so it agrees with
+// Normalize for every representable route.
+func routeCompare(a, b *bgp.Route) int {
+	av6, bv6 := a.IsIPv6(), b.IsIPv6()
+	if av6 != bv6 {
+		if bv6 {
+			return -1
+		}
+		return 1
+	}
+	if c := a.Prefix.Addr().Compare(b.Prefix.Addr()); c != 0 {
+		return c
+	}
+	ab, bb := a.Prefix.Bits(), b.Prefix.Bits()
+	if ab != bb {
+		if ab < bb {
+			return -1
+		}
+		return 1
+	}
+	ap, bp := a.PeerAS(), b.PeerAS()
+	if ap != bp {
+		if ap < bp {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
+// checkRouteOrder verifies routes are Normalize-sorted; the merge
+// walk is only correct over sorted inputs.
+func checkRouteOrder(routes []bgp.Route) error {
+	for i := 1; i < len(routes); i++ {
+		if routeCompare(&routes[i-1], &routes[i]) > 0 {
+			return fmt.Errorf("collector: delta endpoint not normalized (route %d out of order); call Snapshot.Normalize first", i)
+		}
+	}
+	return nil
+}
+
+// --- op stream ------------------------------------------------------------
+
+// DeltaOpKind enumerates the route ops of a delta's edit stream.
+type DeltaOpKind uint8
+
+const (
+	// DeltaCopy keeps the next N base routes unchanged.
+	DeltaCopy DeltaOpKind = iota
+	// DeltaDel removes the next base route (op carries its tuple).
+	DeltaDel
+	// DeltaAdd inserts a route absent from the base.
+	DeltaAdd
+	// DeltaChange replaces the attributes of a (prefix, peer) present
+	// in both endpoints; the op carries old and new attribute tuples
+	// so consumers can decrement/increment without per-row state.
+	DeltaChange
+)
+
+func (k DeltaOpKind) String() string {
+	switch k {
+	case DeltaCopy:
+		return "copy"
+	case DeltaDel:
+		return "del"
+	case DeltaAdd:
+		return "add"
+	case DeltaChange:
+		return "change"
+	default:
+		return fmt.Sprintf("DeltaOpKind(%d)", uint8(k))
+	}
+}
+
+// DeltaTuple is one route version's attributes: five chain-table ids
+// plus the three scalar path attributes.
+type DeltaTuple struct {
+	NextHop          int
+	Path             int
+	Communities      int
+	ExtCommunities   int
+	LargeCommunities int
+	Origin           bgp.Origin
+	MED              uint32
+	LocalPref        uint32
+}
+
+// DeltaOp is one decoded edit. Like RouteBlock's RouteRef it is
+// reused across Ops callbacks; PrefixBytes aliases the delta buffer
+// (the canonical appendPrefix encoding, valid while the reader's
+// bytes live).
+type DeltaOp struct {
+	Kind DeltaOpKind
+	// N is the run length of a DeltaCopy.
+	N int
+	// V6 reports the route family for Del/Add/Change ops.
+	V6 bool
+	// PrefixBytes is the encoded prefix for Del/Add/Change ops.
+	PrefixBytes []byte
+	// Old is set for Del and Change; New for Add and Change.
+	Old, New DeltaTuple
+}
+
+// Prefix decodes the op's prefix.
+func (op *DeltaOp) Prefix() (netip.Prefix, error) {
+	return decodePrefixBytes(op.PrefixBytes)
+}
+
+func decodePrefixBytes(b []byte) (netip.Prefix, error) {
+	r := &breader{b: b}
+	a, err := r.addr()
+	if err != nil {
+		return netip.Prefix{}, err
+	}
+	bits, err := r.byte()
+	if err != nil {
+		return netip.Prefix{}, err
+	}
+	if bits == 0xFF {
+		return netip.PrefixFrom(a, -1), nil
+	}
+	return netip.PrefixFrom(a, int(bits)), nil
+}
+
+// --- encoder --------------------------------------------------------------
+
+// DeltaEncoder diffs a daily series against its chain tables. Create
+// it on day 0 (the full base snapshot) and call Encode once per
+// following day; each call diffs against the previous one and
+// advances. The encoder retains each snapshot until the next call.
+// One-shot use: EncodeDelta.
+type DeltaEncoder struct {
+	tabs    *deltaTables
+	prev    *Snapshot
+	prevIDs []rowIDs
+	digest  [sha256.Size]byte
+	scratch []byte
+}
+
+// NewDeltaEncoder starts a chain at base, which must be normalized
+// (Normalize-sorted routes). The chain id space starts as base's
+// canonical intern tables — identical to its CodecBinary table order.
+func NewDeltaEncoder(base *Snapshot) (*DeltaEncoder, error) {
+	if err := checkRouteOrder(base.Routes); err != nil {
+		return nil, err
+	}
+	e := &DeltaEncoder{tabs: newDeltaTables()}
+	e.prevIDs = make([]rowIDs, len(base.Routes))
+	for i := range base.Routes {
+		e.prevIDs[i], e.scratch = e.tabs.internRoute(e.scratch, &base.Routes[i], nil)
+	}
+	e.prev = base
+	e.digest = SnapshotDigest(base)
+	return e, nil
+}
+
+// Base returns the snapshot the next Encode will diff against.
+func (e *DeltaEncoder) Base() *Snapshot { return e.prev }
+
+// BaseDigest returns the chain digest of the current base.
+func (e *DeltaEncoder) BaseDigest() [sha256.Size]byte { return e.digest }
+
+// Encode emits next as a delta against the encoder's current base
+// and makes next the new base. next must be normalized and is
+// retained by the encoder.
+func (e *DeltaEncoder) Encode(next *Snapshot) ([]byte, error) {
+	t0 := codecTel().now()
+	if err := checkRouteOrder(next.Routes); err != nil {
+		return nil, err
+	}
+	base := e.prev
+	baseSizes := e.tabs.sizes()
+
+	// Intern day N's attributes; first-seen values become the table
+	// extensions, in day-N first-appearance order.
+	var (
+		extBodies [numTabs][]byte
+		extCounts [numTabs]int
+		extElems  [numTabs]uint64
+	)
+	nextIDs := make([]rowIDs, len(next.Routes))
+	for i := range next.Routes {
+		nextIDs[i], e.scratch = e.tabs.internRoute(e.scratch, &next.Routes[i], func(tab int, key []byte, elems int) {
+			extBodies[tab] = append(extBodies[tab], key...)
+			extCounts[tab]++
+			extElems[tab] += uint64(elems)
+		})
+	}
+
+	// Merge walk over the two sorted route slices, emitting ops.
+	// Duplicate (prefix, peer) keys — possible in principle — pair up
+	// one-to-one in order on both sides.
+	var (
+		ops                         []byte
+		run                         uint64
+		copies, adds, dels, changes int64
+	)
+	flushRun := func() {
+		if run > 0 {
+			ops = append(ops, byte(DeltaCopy))
+			ops = appendUvarint(ops, run)
+			run = 0
+			copies++
+		}
+	}
+	appendAttrs := func(b []byte, ids rowIDs, r *bgp.Route) []byte {
+		for _, id := range ids {
+			b = appendUvarint(b, id)
+		}
+		b = appendUvarint(b, uint64(r.Origin))
+		b = appendUvarint(b, uint64(r.MED))
+		return appendUvarint(b, uint64(r.LocalPref))
+	}
+	appendOpPrefix := func(b []byte, r *bgp.Route) []byte {
+		e.scratch = appendPrefix(e.scratch[:0], r.Prefix)
+		b = appendUvarint(b, uint64(len(e.scratch)))
+		return append(b, e.scratch...)
+	}
+	i, j := 0, 0
+	for i < len(base.Routes) || j < len(next.Routes) {
+		c := 0
+		switch {
+		case i >= len(base.Routes):
+			c = 1
+		case j >= len(next.Routes):
+			c = -1
+		default:
+			c = routeCompare(&base.Routes[i], &next.Routes[j])
+		}
+		switch {
+		case c < 0: // only in base → removed
+			flushRun()
+			ops = append(ops, byte(DeltaDel))
+			ops = appendOpPrefix(ops, &base.Routes[i])
+			ops = appendAttrs(ops, e.prevIDs[i], &base.Routes[i])
+			dels++
+			i++
+		case c > 0: // only in next → announced
+			flushRun()
+			ops = append(ops, byte(DeltaAdd))
+			ops = appendOpPrefix(ops, &next.Routes[j])
+			ops = appendAttrs(ops, nextIDs[j], &next.Routes[j])
+			adds++
+			j++
+		default:
+			br, nr := &base.Routes[i], &next.Routes[j]
+			if e.prevIDs[i] == nextIDs[j] && br.Origin == nr.Origin && br.MED == nr.MED && br.LocalPref == nr.LocalPref {
+				run++
+			} else {
+				flushRun()
+				ops = append(ops, byte(DeltaChange))
+				ops = appendOpPrefix(ops, nr)
+				ops = appendAttrs(ops, e.prevIDs[i], br)
+				ops = appendAttrs(ops, nextIDs[j], nr)
+				changes++
+			}
+			i++
+			j++
+		}
+	}
+	flushRun()
+
+	// Header: chain linkage (dates, digests, route counts) plus day
+	// N's full snapshot header section, so a DeltaReader can answer
+	// Header() — and analysis can see day N's member list — without
+	// the base.
+	self := SnapshotDigest(next)
+	var hdr []byte
+	hdr = appendString(hdr, base.Date)
+	hdr = append(hdr, e.digest[:]...)
+	hdr = append(hdr, self[:]...)
+	hdr = appendUvarint(hdr, uint64(len(base.Routes)))
+	hdr = appendUvarint(hdr, uint64(len(next.Routes)))
+	// Nil-vs-empty Routes is digest-relevant (the binary codec
+	// distinguishes them), so the delta must preserve it.
+	var hdrFlags byte
+	if next.Routes == nil {
+		hdrFlags |= 1
+	}
+	hdr = append(hdr, hdrFlags)
+	snapHdr := appendHeaderSection(nil, next)
+	hdr = appendUvarint(hdr, uint64(len(snapHdr)))
+	hdr = append(hdr, snapHdr...)
+
+	buf := append([]byte(nil), deltaMagic...)
+	buf = appendUvarint(buf, deltaVersion)
+	buf = appendUvarint(buf, uint64(len(hdr)))
+	buf = append(buf, hdr...)
+	// Table extensions, each prefixed with the base table size it
+	// extends (an id-space handshake: apply fails fast when encoder
+	// and applier tables drifted, instead of mis-resolving ids).
+	buf = appendUvarint(buf, uint64(baseSizes[tabNH]))
+	buf = appendUvarint(buf, uint64(extCounts[tabNH]))
+	buf = append(buf, extBodies[tabNH]...)
+	for tab := tabPath; tab <= tabLarge; tab++ {
+		buf = appendUvarint(buf, uint64(baseSizes[tab]))
+		buf = appendUvarint(buf, uint64(extCounts[tab]))
+		buf = appendUvarint(buf, extElems[tab])
+		buf = append(buf, extBodies[tab]...)
+	}
+	buf = appendColumn(buf, ops)
+
+	e.prev, e.prevIDs, e.digest = next, nextIDs, self
+	codecTel().deltaEncoded(t0, int64(len(buf)), copies, adds, dels, changes)
+	return buf, nil
+}
+
+// EncodeDelta encodes next as a one-shot delta against base. For a
+// multi-day chain, keep a DeltaEncoder instead — ids then extend
+// across days rather than restarting from base each time.
+func EncodeDelta(base, next *Snapshot) ([]byte, error) {
+	e, err := NewDeltaEncoder(base)
+	if err != nil {
+		return nil, err
+	}
+	return e.Encode(next)
+}
+
+// --- reader ---------------------------------------------------------------
+
+// DeltaReader exposes a parsed delta — header, table extensions and
+// the op stream — without materializing routes, mirroring RouteBlock.
+// The extension tables are decoded eagerly (they are churn-sized, not
+// table-sized); ops are decoded on each Ops call.
+type DeltaReader struct {
+	head       *Snapshot
+	baseDate   string
+	baseDigest [sha256.Size]byte
+	selfDigest [sha256.Size]byte
+	baseRoutes int
+	nextRoutes int
+	routesNil  bool
+
+	baseSizes [numTabs]int
+
+	newNexthops []netip.Addr
+	newPaths    []bgp.ASPath
+	newComms    [][]bgp.Community
+	newExts     [][]bgp.ExtendedCommunity
+	newLarges   [][]bgp.LargeCommunity
+
+	ops []byte
+}
+
+// OpenDelta reads and parses a delta file.
+func OpenDelta(path string) (*DeltaReader, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	dr, err := NewDeltaReader(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return dr, nil
+}
+
+// NewDeltaReader parses a delta from data, which must stay immutable
+// and alive for the reader's lifetime (ops alias it).
+func NewDeltaReader(data []byte) (*DeltaReader, error) {
+	r := &breader{b: data}
+	magic, err := r.bytes(len(deltaMagic))
+	if err != nil || string(magic) != deltaMagic {
+		return nil, errors.New("collector: not a snapshot delta (bad magic)")
+	}
+	version, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if version != deltaVersion {
+		return nil, fmt.Errorf("collector: unsupported snapshot delta version %d (want %d)", version, deltaVersion)
+	}
+	hdrLen, err := r.count()
+	if err != nil {
+		return nil, err
+	}
+	hdrBytes, err := r.bytes(hdrLen)
+	if err != nil {
+		return nil, err
+	}
+	d := &DeltaReader{}
+	hr := &breader{b: hdrBytes}
+	if d.baseDate, err = hr.string(); err != nil {
+		return nil, err
+	}
+	bd, err := hr.bytes(sha256.Size)
+	if err != nil {
+		return nil, err
+	}
+	copy(d.baseDigest[:], bd)
+	sd, err := hr.bytes(sha256.Size)
+	if err != nil {
+		return nil, err
+	}
+	copy(d.selfDigest[:], sd)
+	br, err := hr.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	nr, err := hr.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	d.baseRoutes, d.nextRoutes = int(br), int(nr)
+	// Every added route costs at least two op bytes, so a plausible
+	// nextRoutes is bounded by the base plus the delta size; anything
+	// larger is a corrupt count that would drive huge allocations.
+	if d.baseRoutes < 0 || d.nextRoutes < 0 || d.nextRoutes > d.baseRoutes+len(data) {
+		return nil, errDeltaCorrupt
+	}
+	hdrFlags, err := hr.byte()
+	if err != nil {
+		return nil, err
+	}
+	d.routesNil = hdrFlags&1 != 0
+	if d.routesNil && d.nextRoutes != 0 {
+		return nil, errDeltaCorrupt
+	}
+	shLen, err := hr.count()
+	if err != nil {
+		return nil, err
+	}
+	shBytes, err := hr.bytes(shLen)
+	if err != nil {
+		return nil, err
+	}
+	if d.head, err = decodeHeaderSection(&breader{b: shBytes}); err != nil {
+		return nil, err
+	}
+	if hr.remaining() != 0 {
+		return nil, errDeltaCorrupt
+	}
+
+	// Table extensions.
+	if d.baseSizes[tabNH], err = readBaseSize(r); err != nil {
+		return nil, err
+	}
+	nhCount, err := r.count()
+	if err != nil {
+		return nil, err
+	}
+	d.newNexthops = make([]netip.Addr, nhCount)
+	for i := range d.newNexthops {
+		if d.newNexthops[i], err = r.addr(); err != nil {
+			return nil, err
+		}
+	}
+	if d.baseSizes[tabPath], err = readBaseSize(r); err != nil {
+		return nil, err
+	}
+	pathCount, pathElems, err := readExtHeader(r)
+	if err != nil {
+		return nil, err
+	}
+	pathSlab := make([]uint32, 0, pathElems)
+	d.newPaths = make([]bgp.ASPath, pathCount)
+	for i := range d.newPaths {
+		n, isNil, err := r.sliceHeader()
+		if err != nil {
+			return nil, err
+		}
+		if isNil {
+			continue
+		}
+		if len(pathSlab)+n > cap(pathSlab) {
+			return nil, errDeltaCorrupt
+		}
+		start := len(pathSlab)
+		for j := 0; j < n; j++ {
+			v, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			pathSlab = append(pathSlab, uint32(v))
+		}
+		d.newPaths[i] = bgp.ASPath(pathSlab[start:len(pathSlab):len(pathSlab)])
+	}
+	if d.baseSizes[tabComm], err = readBaseSize(r); err != nil {
+		return nil, err
+	}
+	commCount, commElems, err := readExtHeader(r)
+	if err != nil {
+		return nil, err
+	}
+	commSlab := make([]bgp.Community, 0, commElems)
+	d.newComms = make([][]bgp.Community, commCount)
+	for i := range d.newComms {
+		n, isNil, err := r.sliceHeader()
+		if err != nil {
+			return nil, err
+		}
+		if isNil {
+			continue
+		}
+		if len(commSlab)+n > cap(commSlab) {
+			return nil, errDeltaCorrupt
+		}
+		start := len(commSlab)
+		for j := 0; j < n; j++ {
+			v, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			commSlab = append(commSlab, bgp.Community(v))
+		}
+		d.newComms[i] = commSlab[start:len(commSlab):len(commSlab)]
+	}
+	if d.baseSizes[tabExt], err = readBaseSize(r); err != nil {
+		return nil, err
+	}
+	extCount, extElems, err := readExtHeader(r)
+	if err != nil {
+		return nil, err
+	}
+	extSlab := make([]bgp.ExtendedCommunity, 0, extElems)
+	d.newExts = make([][]bgp.ExtendedCommunity, extCount)
+	for i := range d.newExts {
+		n, isNil, err := r.sliceHeader()
+		if err != nil {
+			return nil, err
+		}
+		if isNil {
+			continue
+		}
+		if len(extSlab)+n > cap(extSlab) {
+			return nil, errDeltaCorrupt
+		}
+		start := len(extSlab)
+		for j := 0; j < n; j++ {
+			raw, err := r.bytes(8)
+			if err != nil {
+				return nil, err
+			}
+			extSlab = append(extSlab, bgp.ExtendedCommunity(raw))
+		}
+		d.newExts[i] = extSlab[start:len(extSlab):len(extSlab)]
+	}
+	if d.baseSizes[tabLarge], err = readBaseSize(r); err != nil {
+		return nil, err
+	}
+	largeCount, largeElems, err := readExtHeader(r)
+	if err != nil {
+		return nil, err
+	}
+	largeSlab := make([]bgp.LargeCommunity, 0, largeElems)
+	d.newLarges = make([][]bgp.LargeCommunity, largeCount)
+	for i := range d.newLarges {
+		n, isNil, err := r.sliceHeader()
+		if err != nil {
+			return nil, err
+		}
+		if isNil {
+			continue
+		}
+		if len(largeSlab)+n > cap(largeSlab) {
+			return nil, errDeltaCorrupt
+		}
+		start := len(largeSlab)
+		for j := 0; j < n; j++ {
+			g, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			l1, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			l2, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			largeSlab = append(largeSlab, bgp.LargeCommunity{
+				Global: uint32(g), Local1: uint32(l1), Local2: uint32(l2),
+			})
+		}
+		d.newLarges[i] = largeSlab[start:len(largeSlab):len(largeSlab)]
+	}
+
+	opsLen, err := r.count()
+	if err != nil {
+		return nil, err
+	}
+	if d.ops, err = r.bytes(opsLen); err != nil {
+		return nil, err
+	}
+	if r.remaining() != 0 {
+		return nil, errDeltaCorrupt
+	}
+	return d, nil
+}
+
+func readBaseSize(r *breader) (int, error) {
+	v, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	n := int(v)
+	if n < 0 {
+		return 0, errDeltaCorrupt
+	}
+	return n, nil
+}
+
+func readExtHeader(r *breader) (count, elems int, err error) {
+	if count, err = r.count(); err != nil {
+		return 0, 0, err
+	}
+	if elems, err = r.count(); err != nil {
+		return 0, 0, err
+	}
+	return count, elems, nil
+}
+
+// Header returns day N's header-only snapshot (Routes nil); callers
+// must not mutate it.
+func (d *DeltaReader) Header() *Snapshot { return d.head }
+
+// BaseDate returns the Date of the snapshot this delta applies to.
+func (d *DeltaReader) BaseDate() string { return d.baseDate }
+
+// BaseDigest returns the required base's SnapshotDigest.
+func (d *DeltaReader) BaseDigest() [sha256.Size]byte { return d.baseDigest }
+
+// SelfDigest returns day N's SnapshotDigest — the BaseDigest the
+// chain's next delta must carry.
+func (d *DeltaReader) SelfDigest() [sha256.Size]byte { return d.selfDigest }
+
+// BaseRoutes and NextRoutes return the route counts of the two
+// endpoints.
+func (d *DeltaReader) BaseRoutes() int { return d.baseRoutes }
+func (d *DeltaReader) NextRoutes() int { return d.nextRoutes }
+
+// BaseTableSizes returns the per-table base entry counts this delta's
+// ids assume, in table wire order (next-hops, AS paths, community
+// sets, extended sets, large sets).
+func (d *DeltaReader) BaseTableSizes() [5]int { return d.baseSizes }
+
+// Table extension accessors: values first seen on day N, to be
+// appended to the base tables in this order. Callers must not mutate.
+func (d *DeltaReader) NewNextHops() []netip.Addr                      { return d.newNexthops }
+func (d *DeltaReader) NewASPaths() []bgp.ASPath                       { return d.newPaths }
+func (d *DeltaReader) NewCommunitySets() [][]bgp.Community            { return d.newComms }
+func (d *DeltaReader) NewExtCommunitySets() [][]bgp.ExtendedCommunity { return d.newExts }
+func (d *DeltaReader) NewLargeCommunitySets() [][]bgp.LargeCommunity  { return d.newLarges }
+
+// Ops streams the edit ops in order, reusing one DeltaOp across
+// calls (copy what you keep). It is re-runnable: each call walks the
+// op bytes from the start. Ids are bounds-checked against
+// base+extension table sizes before the callback sees them.
+func (d *DeltaReader) Ops(fn func(op *DeltaOp) error) error {
+	limits := d.baseSizes
+	limits[tabNH] += len(d.newNexthops)
+	limits[tabPath] += len(d.newPaths)
+	limits[tabComm] += len(d.newComms)
+	limits[tabExt] += len(d.newExts)
+	limits[tabLarge] += len(d.newLarges)
+
+	r := breader{b: d.ops}
+	var op DeltaOp
+	readTuple := func(t *DeltaTuple) error {
+		var ids [numTabs]uint64
+		for tab := range ids {
+			v, err := r.uvarint()
+			if err != nil {
+				return err
+			}
+			if v >= uint64(limits[tab]) {
+				return errDeltaCorrupt
+			}
+			ids[tab] = v
+		}
+		t.NextHop = int(ids[tabNH])
+		t.Path = int(ids[tabPath])
+		t.Communities = int(ids[tabComm])
+		t.ExtCommunities = int(ids[tabExt])
+		t.LargeCommunities = int(ids[tabLarge])
+		o, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		t.Origin = bgp.Origin(o)
+		med, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		t.MED = uint32(med)
+		lp, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		t.LocalPref = uint32(lp)
+		return nil
+	}
+	readPrefix := func() error {
+		n, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		if op.PrefixBytes, err = r.bytes(int(n)); err != nil {
+			return err
+		}
+		if len(op.PrefixBytes) == 0 {
+			return errDeltaCorrupt
+		}
+		// appendPrefix's first byte is the single-byte address length
+		// varint: ≥16 means a 16-byte (IPv6) address.
+		op.V6 = op.PrefixBytes[0] >= 16
+		return nil
+	}
+	for r.remaining() > 0 {
+		kind, err := r.byte()
+		if err != nil {
+			return err
+		}
+		op = DeltaOp{Kind: DeltaOpKind(kind)}
+		switch op.Kind {
+		case DeltaCopy:
+			n, err := r.uvarint()
+			if err != nil {
+				return err
+			}
+			op.N = int(n)
+			if op.N <= 0 {
+				return errDeltaCorrupt
+			}
+		case DeltaDel:
+			if err := readPrefix(); err != nil {
+				return err
+			}
+			if err := readTuple(&op.Old); err != nil {
+				return err
+			}
+		case DeltaAdd:
+			if err := readPrefix(); err != nil {
+				return err
+			}
+			if err := readTuple(&op.New); err != nil {
+				return err
+			}
+		case DeltaChange:
+			if err := readPrefix(); err != nil {
+				return err
+			}
+			if err := readTuple(&op.Old); err != nil {
+				return err
+			}
+			if err := readTuple(&op.New); err != nil {
+				return err
+			}
+		default:
+			return errDeltaCorrupt
+		}
+		if err := fn(&op); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- applier --------------------------------------------------------------
+
+// DeltaApplier materializes a delta chain day by day. Create it on
+// the chain's base snapshot and call Apply once per delta in order;
+// interned attribute values are shared across all materialized days.
+// One-shot use: ApplyDelta.
+type DeltaApplier struct {
+	tabs *deltaTables
+
+	nexthops []netip.Addr
+	paths    []bgp.ASPath
+	comms    [][]bgp.Community
+	exts     [][]bgp.ExtendedCommunity
+	larges   [][]bgp.LargeCommunity
+
+	cur     *Snapshot
+	curIDs  []rowIDs
+	digest  [sha256.Size]byte
+	scratch []byte
+}
+
+// NewDeltaApplier starts a chain at base (normalized routes).
+func NewDeltaApplier(base *Snapshot) (*DeltaApplier, error) {
+	if err := checkRouteOrder(base.Routes); err != nil {
+		return nil, err
+	}
+	a := &DeltaApplier{tabs: newDeltaTables()}
+	a.curIDs = make([]rowIDs, len(base.Routes))
+	for i := range base.Routes {
+		r := &base.Routes[i]
+		var ids rowIDs
+		ids, a.scratch = a.tabs.internRoute(a.scratch, r, func(tab int, _ []byte, _ int) {
+			switch tab {
+			case tabNH:
+				a.nexthops = append(a.nexthops, r.NextHop)
+			case tabPath:
+				a.paths = append(a.paths, r.ASPath)
+			case tabComm:
+				a.comms = append(a.comms, r.Communities)
+			case tabExt:
+				a.exts = append(a.exts, r.ExtCommunities)
+			case tabLarge:
+				a.larges = append(a.larges, r.LargeCommunities)
+			}
+		})
+		a.curIDs[i] = ids
+	}
+	a.cur = base
+	a.digest = SnapshotDigest(base)
+	return a, nil
+}
+
+// Current returns the chain's latest materialized snapshot.
+func (a *DeltaApplier) Current() *Snapshot { return a.cur }
+
+// Digest returns the chain digest of the current snapshot.
+func (a *DeltaApplier) Digest() [sha256.Size]byte { return a.digest }
+
+// extend registers a delta's table extensions: values are appended to
+// the id-indexed tables and their canonical keys re-interned so the
+// chain's id space stays in lockstep with the encoder's.
+func (a *DeltaApplier) extend(d *DeltaReader) error {
+	sizes := a.tabs.sizes()
+	if sizes != d.BaseTableSizes() {
+		return fmt.Errorf("%w: delta expects table sizes %v, chain has %v",
+			ErrDeltaBaseMismatch, d.BaseTableSizes(), sizes)
+	}
+	for _, nh := range d.NewNextHops() {
+		a.scratch = appendAddr(a.scratch[:0], nh)
+		if _, isNew := a.tabs.tabs[tabNH].intern(a.scratch); !isNew {
+			return errDeltaCorrupt // extension value already interned
+		}
+		a.nexthops = append(a.nexthops, nh)
+	}
+	for _, p := range d.NewASPaths() {
+		a.scratch = appendPathKey(a.scratch[:0], p)
+		if _, isNew := a.tabs.tabs[tabPath].intern(a.scratch); !isNew {
+			return errDeltaCorrupt
+		}
+		a.paths = append(a.paths, p)
+	}
+	for _, cs := range d.NewCommunitySets() {
+		a.scratch = appendCommKey(a.scratch[:0], cs)
+		if _, isNew := a.tabs.tabs[tabComm].intern(a.scratch); !isNew {
+			return errDeltaCorrupt
+		}
+		a.comms = append(a.comms, cs)
+	}
+	for _, es := range d.NewExtCommunitySets() {
+		a.scratch = appendExtKey(a.scratch[:0], es)
+		if _, isNew := a.tabs.tabs[tabExt].intern(a.scratch); !isNew {
+			return errDeltaCorrupt
+		}
+		a.exts = append(a.exts, es)
+	}
+	for _, ls := range d.NewLargeCommunitySets() {
+		a.scratch = appendLargeKey(a.scratch[:0], ls)
+		if _, isNew := a.tabs.tabs[tabLarge].intern(a.scratch); !isNew {
+			return errDeltaCorrupt
+		}
+		a.larges = append(a.larges, ls)
+	}
+	return nil
+}
+
+// Apply materializes the delta's day-N snapshot and advances the
+// chain. The delta must have been encoded against the chain's current
+// snapshot (digest-verified).
+func (a *DeltaApplier) Apply(d *DeltaReader) (*Snapshot, error) {
+	t0 := codecTel().now()
+	if bd := d.BaseDigest(); bd != a.digest {
+		return nil, fmt.Errorf("%w: delta for %q base %x…, chain at %x…",
+			ErrDeltaBaseMismatch, d.BaseDate(), bd[:4], a.digest[:4])
+	}
+	if d.BaseRoutes() != len(a.cur.Routes) {
+		return nil, fmt.Errorf("%w: delta expects %d base routes, chain has %d",
+			ErrDeltaBaseMismatch, d.BaseRoutes(), len(a.cur.Routes))
+	}
+	if err := a.extend(d); err != nil {
+		return nil, err
+	}
+
+	next := *d.Header() // copy; Routes filled below
+	routes := make([]bgp.Route, 0, d.NextRoutes())
+	ids := make([]rowIDs, 0, d.NextRoutes())
+	i := 0 // base cursor
+	tupleIDs := func(t *DeltaTuple) rowIDs {
+		return rowIDs{uint64(t.NextHop), uint64(t.Path), uint64(t.Communities), uint64(t.ExtCommunities), uint64(t.LargeCommunities)}
+	}
+	buildRoute := func(p netip.Prefix, t *DeltaTuple) bgp.Route {
+		return bgp.Route{
+			Prefix:           p,
+			NextHop:          a.nexthops[t.NextHop],
+			ASPath:           a.paths[t.Path],
+			Origin:           t.Origin,
+			MED:              t.MED,
+			LocalPref:        t.LocalPref,
+			Communities:      a.comms[t.Communities],
+			ExtCommunities:   a.exts[t.ExtCommunities],
+			LargeCommunities: a.larges[t.LargeCommunities],
+		}
+	}
+	err := d.Ops(func(op *DeltaOp) error {
+		switch op.Kind {
+		case DeltaCopy:
+			if i+op.N > len(a.cur.Routes) {
+				return errDeltaCorrupt
+			}
+			routes = append(routes, a.cur.Routes[i:i+op.N]...)
+			ids = append(ids, a.curIDs[i:i+op.N]...)
+			i += op.N
+		case DeltaDel:
+			if i >= len(a.cur.Routes) || a.curIDs[i] != tupleIDs(&op.Old) {
+				return errDeltaCorrupt
+			}
+			i++
+		case DeltaAdd:
+			p, err := op.Prefix()
+			if err != nil {
+				return err
+			}
+			routes = append(routes, buildRoute(p, &op.New))
+			ids = append(ids, tupleIDs(&op.New))
+		case DeltaChange:
+			if i >= len(a.cur.Routes) || a.curIDs[i] != tupleIDs(&op.Old) {
+				return errDeltaCorrupt
+			}
+			p, err := op.Prefix()
+			if err != nil {
+				return err
+			}
+			routes = append(routes, buildRoute(p, &op.New))
+			ids = append(ids, tupleIDs(&op.New))
+			i++
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if i != len(a.cur.Routes) || len(routes) != d.NextRoutes() {
+		return nil, errDeltaCorrupt
+	}
+	if d.routesNil {
+		routes = nil
+	}
+	next.Routes = routes
+	a.cur, a.curIDs, a.digest = &next, ids, d.SelfDigest()
+	codecTel().deltaApplied(t0, len(routes))
+	return &next, nil
+}
+
+// Encoder returns a DeltaEncoder continuing this chain: it shares the
+// applier's id space and diffs against the applier's current
+// snapshot. Used by cmd/collect to append today's crawl to an
+// existing on-disk chain. The applier must not Apply further deltas
+// once its encoder has Encoded (their states would diverge).
+func (a *DeltaApplier) Encoder() *DeltaEncoder {
+	return &DeltaEncoder{
+		tabs:    a.tabs,
+		prev:    a.cur,
+		prevIDs: a.curIDs,
+		digest:  a.digest,
+	}
+}
+
+// ApplyDelta materializes delta against base in one shot. For a
+// multi-day chain, keep a DeltaApplier instead.
+func ApplyDelta(base *Snapshot, delta []byte) (*Snapshot, error) {
+	d, err := NewDeltaReader(delta)
+	if err != nil {
+		return nil, err
+	}
+	a, err := NewDeltaApplier(base)
+	if err != nil {
+		return nil, err
+	}
+	return a.Apply(d)
+}

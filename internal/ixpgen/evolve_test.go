@@ -1,0 +1,153 @@
+package ixpgen
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"ixplight/internal/collector"
+)
+
+func collectSeries(t *testing.T, ixp string, o TemporalOptions, churn float64) []*collector.Snapshot {
+	t.Helper()
+	p := ProfileByName(ixp)
+	if p == nil {
+		t.Fatalf("no profile %q", ixp)
+	}
+	var days []*collector.Snapshot
+	err := EvolveSeries(*p, o, churn, func(day int, s *collector.Snapshot) error {
+		if day != len(days) {
+			t.Fatalf("days out of order: got %d want %d", day, len(days))
+		}
+		days = append(days, s)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return days
+}
+
+func routeKeys(s *collector.Snapshot) map[string]bool {
+	keys := make(map[string]bool, len(s.Routes))
+	for i := range s.Routes {
+		r := &s.Routes[i]
+		keys[r.Prefix.String()+"|"+r.NextHop.String()] = true
+	}
+	return keys
+}
+
+func TestEvolveSeriesShape(t *testing.T) {
+	o := TemporalOptions{
+		Start:      time.Date(2021, 7, 19, 0, 0, 0, 0, time.UTC),
+		Days:       16,
+		Seed:       7,
+		Scale:      0.02,
+		ValleyDays: []int{11},
+	}
+	days := collectSeries(t, "LINX", o, 0.03)
+	if len(days) != o.Days {
+		t.Fatalf("got %d days, want %d", len(days), o.Days)
+	}
+	for d, s := range days {
+		wantDate := o.Start.AddDate(0, 0, d).Format("2006-01-02")
+		if s.Date != wantDate {
+			t.Errorf("day %d: date %q, want %q", d, s.Date, wantDate)
+		}
+		if len(s.Routes) == 0 || len(s.Members) == 0 {
+			t.Fatalf("day %d: empty snapshot", d)
+		}
+	}
+
+	// Adjacent healthy days overlap almost completely — the redundancy
+	// the delta codec exists to exploit.
+	prev := routeKeys(days[0])
+	for d := 1; d < len(days); d++ {
+		if d == 11 || d == 12 { // valley day and its recovery jump
+			prev = routeKeys(days[d])
+			continue
+		}
+		cur := routeKeys(days[d])
+		shared := 0
+		for k := range cur {
+			if prev[k] {
+				shared++
+			}
+		}
+		if frac := float64(shared) / float64(len(cur)); frac < 0.9 {
+			t.Errorf("day %d: only %.2f of routes shared with previous day", d, frac)
+		}
+		prev = cur
+	}
+
+	// Weekly churn: day 7 swaps one member for a joiner in the evolve
+	// ASN range, keeping the count steady.
+	if got, want := len(days[7].Members), len(days[6].Members); got != want {
+		t.Errorf("day 7: member count %d, want %d (swap, not growth)", got, want)
+	}
+	joiner := days[7].Members[len(days[7].Members)-1]
+	if joiner.ASN < evolveJoinerBase || joiner.ASN >= 100000 {
+		t.Errorf("day 7 joiner ASN %d outside evolve range", joiner.ASN)
+	}
+	goneASN := days[6].Members[len(days[6].Members)-1].ASN
+	for i := range days[7].Routes {
+		if days[7].Routes[i].PeerAS() == goneASN {
+			t.Fatalf("day 7 still carries a route from departed AS%d", goneASN)
+		}
+	}
+
+	// Valley day 11 collapses toward ValleyDepth of day 10; day 12
+	// recovers to the healthy line rather than evolving the valley.
+	ratio := float64(len(days[11].Routes)) / float64(len(days[10].Routes))
+	if ratio < 0.4 || ratio > 0.8 {
+		t.Errorf("valley day ratio %.2f, want near default depth 0.62", ratio)
+	}
+	rec := float64(len(days[12].Routes)) / float64(len(days[10].Routes))
+	if rec < 0.9 {
+		t.Errorf("post-valley day recovered only to %.2f of the healthy line", rec)
+	}
+}
+
+func TestEvolveSeriesDeterministic(t *testing.T) {
+	o := TemporalOptions{Days: 9, Seed: 11, Scale: 0.02}
+	a := collectSeries(t, "AMS-IX", o, 0.05)
+	b := collectSeries(t, "AMS-IX", o, 0.05)
+	for d := range a {
+		if !reflect.DeepEqual(a[d], b[d]) {
+			t.Fatalf("day %d differs across identical runs", d)
+		}
+	}
+	c := collectSeries(t, "AMS-IX", TemporalOptions{Days: 9, Seed: 12, Scale: 0.02}, 0.05)
+	same := true
+	for d := 1; d < len(a); d++ {
+		if !reflect.DeepEqual(a[d].Routes, c[d].Routes) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical evolved series")
+	}
+}
+
+func TestEvolveSeriesFreshPrefixesDisjoint(t *testing.T) {
+	o := TemporalOptions{Days: 6, Seed: 3, Scale: 0.02}
+	days := collectSeries(t, "LINX", o, 0.06)
+	day0 := routeKeys(days[0])
+	var day0Prefixes = map[string]bool{}
+	for i := range days[0].Routes {
+		day0Prefixes[days[0].Routes[i].Prefix.String()] = true
+	}
+	// Evolved announcements must never reuse a prefix+nexthop pair that
+	// day 0 already withdrew — fresh prefixes come from a disjoint
+	// range, so any route absent from day 0 must carry a new prefix.
+	fresh := 0
+	for i := range days[5].Routes {
+		r := &days[5].Routes[i]
+		if !day0[r.Prefix.String()+"|"+r.NextHop.String()] && !day0Prefixes[r.Prefix.String()] {
+			fresh++
+		}
+	}
+	if fresh == 0 {
+		t.Error("no fresh announcements after 5 evolved days at 6% churn")
+	}
+}

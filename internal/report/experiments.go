@@ -55,6 +55,11 @@ type Lab struct {
 	// as header-only snapshots with the index attached — byte-identical
 	// experiment output, without materializing routes.
 	Materialize bool
+	// NoIncremental makes LoadSnapshotDir reconstruct delta chains
+	// through a materializing DeltaApplier instead of advancing the
+	// previous day's index in place. Output is byte-identical either
+	// way; the flag exists to compare the two paths.
+	NoIncremental bool
 	// Telemetry, when set, records a per-experiment run-time histogram
 	// (ixplight_report_experiment_seconds) and emits a
 	// "report.experiment" span per Run.

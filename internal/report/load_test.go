@@ -2,6 +2,10 @@ package report
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
 	"testing"
 
 	"ixplight/internal/collector"
@@ -160,5 +164,150 @@ func TestLoadSnapshotDirSeries(t *testing.T) {
 	}
 	if lab.Snapshots["LINX"].Date != "2021-10-06" || lab.Snapshots["DE-CIX"].Date != "2021-10-04" {
 		t.Errorf("latest promotion wrong")
+	}
+}
+
+// writeDeltaChain evolves a daily series for each profile into dir as
+// a delta chain (day 0 full binary, every later day a .delta), and
+// the same days into fullDir as full binary files. Returns the
+// materialized series per IXP.
+func writeDeltaChain(t *testing.T, profiles []ixpgen.Profile, dir, fullDir string, o ixpgen.TemporalOptions) map[string][]*collector.Snapshot {
+	t.Helper()
+	series := map[string][]*collector.Snapshot{}
+	for _, p := range profiles {
+		var enc *collector.DeltaEncoder
+		err := ixpgen.EvolveSeries(p, o, 0.05, func(day int, s *collector.Snapshot) error {
+			series[p.IXP] = append(series[p.IXP], s)
+			if _, err := collector.SaveSnapshot(fullDir, s, collector.CodecBinary); err != nil {
+				return err
+			}
+			if day == 0 {
+				var err error
+				enc, err = collector.NewDeltaEncoder(s)
+				if err != nil {
+					return err
+				}
+				_, err2 := collector.SaveSnapshot(dir, s, collector.CodecBinary)
+				return err2
+			}
+			buf, err := enc.Encode(s)
+			if err != nil {
+				return err
+			}
+			return os.WriteFile(filepath.Join(dir, s.IXP+"-"+s.Date+collector.DeltaExt), buf, 0o644)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return series
+}
+
+// TestLoadSnapshotDirDeltaChain pins the delta tentpole end to end:
+// loading a chain directory (one full day plus deltas) produces
+// byte-identical experiment output to loading the same days as full
+// files — on the default incremental path (which never materializes a
+// route), on the -no-incremental applier path, and fully materialized.
+func TestLoadSnapshotDirDeltaChain(t *testing.T) {
+	const (
+		seed  = 42
+		scale = 0.004
+	)
+	profiles := ixpgen.BigFour()[:2]
+	o := ixpgen.TemporalOptions{Seed: seed, Scale: scale, Days: 5, ValleyDays: []int{3}}
+	chainDir := t.TempDir()
+	fullDir := t.TempDir()
+	series := writeDeltaChain(t, profiles, chainDir, fullDir, o)
+
+	run := func(dir string, cfg func(*Lab)) (*Lab, [][]byte) {
+		lab, err := NewLabParallel(profiles, seed, scale, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cfg != nil {
+			cfg(lab)
+		}
+		if err := lab.LoadSnapshotDir(dir); err != nil {
+			t.Fatal(err)
+		}
+		outs, err := lab.RunMany(ExperimentNames)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return lab, outs
+	}
+
+	fullLab, fullOuts := run(fullDir, nil)
+	incLab, incOuts := run(chainDir, nil)
+	appLab, appOuts := run(chainDir, func(l *Lab) { l.NoIncremental = true })
+	_, matOuts := run(chainDir, func(l *Lab) { l.Materialize = true })
+
+	for i := range fullOuts {
+		if !bytes.Equal(fullOuts[i], incOuts[i]) {
+			t.Errorf("%s: incremental chain output differs from full files", ExperimentNames[i])
+		}
+		if !bytes.Equal(fullOuts[i], appOuts[i]) {
+			t.Errorf("%s: NoIncremental chain output differs from full files", ExperimentNames[i])
+		}
+		if !bytes.Equal(fullOuts[i], matOuts[i]) {
+			t.Errorf("%s: Materialize chain output differs from full files", ExperimentNames[i])
+		}
+	}
+
+	for _, p := range profiles {
+		want := series[p.IXP]
+		for _, lab := range []*Lab{fullLab, incLab, appLab} {
+			got := lab.Series[p.IXP]
+			if len(got) != len(want) {
+				t.Fatalf("%s: series length %d, want %d", p.IXP, len(got), len(want))
+			}
+			for d := range got {
+				if got[d].Date != want[d].Date {
+					t.Errorf("%s day %d: date %q, want %q", p.IXP, d, got[d].Date, want[d].Date)
+				}
+			}
+		}
+		// The incremental chain never materializes a route.
+		for _, s := range incLab.Series[p.IXP] {
+			if s.Routes != nil {
+				t.Errorf("%s %s: incremental chain materialized routes", p.IXP, s.Date)
+			}
+		}
+		// The applier path reconstructs the exact snapshots.
+		for d, s := range appLab.Series[p.IXP] {
+			if d > 0 && !reflect.DeepEqual(s, want[d]) {
+				t.Errorf("%s day %d: applier-reconstructed snapshot diverges", p.IXP, d)
+			}
+		}
+	}
+}
+
+// TestLoadSnapshotDirDeltaMissingBase pins the failure mode: a chain
+// whose base snapshot is absent from the directory is an error, not a
+// silently dropped day.
+func TestLoadSnapshotDirDeltaMissingBase(t *testing.T) {
+	profiles := ixpgen.BigFour()[:1]
+	o := ixpgen.TemporalOptions{Seed: 7, Scale: 0.002, Days: 3}
+	chainDir := t.TempDir()
+	writeDeltaChain(t, profiles, chainDir, t.TempDir(), o)
+	ents, err := os.ReadDir(chainDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if !strings.HasSuffix(e.Name(), collector.DeltaExt) {
+			if err := os.Remove(filepath.Join(chainDir, e.Name())); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	lab, err := NewLabParallel(profiles, 7, 0.002, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lab.LoadSnapshotDir(chainDir); err == nil {
+		t.Fatal("loading a delta chain without its base succeeded")
+	} else if !strings.Contains(err.Error(), "no snapshot for base day") {
+		t.Fatalf("unexpected error: %v", err)
 	}
 }
