@@ -54,9 +54,9 @@ bench:
 	$(GO) test -bench=. -benchmem -count=1 $(BENCH_PKGS) | $(GO) run ./cmd/benchjson -out BENCH_$(BENCH_DATE).json -date $(BENCH_DATE)
 	-$(GO) run ./cmd/benchdiff BENCH_$(BENCH_DATE).json
 
-# benchdiff guards the snapshot-codec and index-construction suites:
-# it compares the two newest BENCH_*.json archives and fails on any
-# ns/op regression above 20%. With fewer than two archives it is a
+# benchdiff guards the snapshot-codec and index-construction suites
+# plus the tracing span-overhead tiers: it compares the two newest
+# BENCH_*.json archives and fails on any ns/op regression above 20%. With fewer than two archives it is a
 # no-op, so check stays green on fresh clones.
 benchdiff:
 	$(GO) run ./cmd/benchdiff

@@ -5,7 +5,7 @@
 //
 //	analyze [-exp all|table1|fig1|...|sanitation] [-scale 0.05] [-seed 42]
 //	        [-ixps IX.br-SP,DE-CIX,LINX,AMS-IX | all] [-snapshots dir]
-//	        [-parallel N]
+//	        [-parallel N] [-trace file]
 //
 // Without -snapshots it generates the calibrated synthetic workload;
 // with -snapshots it loads stored snapshot files for the latest date
@@ -27,6 +27,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -37,6 +38,7 @@ import (
 	"ixplight/internal/analysis"
 	"ixplight/internal/ixpgen"
 	"ixplight/internal/report"
+	"ixplight/internal/telemetry"
 )
 
 func main() {
@@ -52,6 +54,7 @@ func main() {
 		"decode full routes when loading -snapshots instead of indexing columnar files column-direct")
 	noIncremental := flag.Bool("no-incremental", false,
 		"reconstruct -snapshots delta chains through a materializing apply instead of advancing each day's index incrementally")
+	tracePath := flag.String("trace", "", "write a trace ledger for the run to this file (inspect with tracecat)")
 	flag.Parse()
 
 	analysis.SetParallelism(*parallel)
@@ -62,6 +65,24 @@ func main() {
 	lab, err := report.NewLabParallel(profiles, *seed, *scale, *parallel)
 	if err != nil {
 		fatal(err)
+	}
+	// With -trace, the whole run becomes one trace: an analyze.run root
+	// span parents every report.experiment span (and, through
+	// analysis.SetTelemetry, the index build/advance spans).
+	var traceSink *telemetry.JSONLSink
+	var rootSpan *telemetry.Span
+	if *tracePath != "" {
+		traceSink, err = telemetry.NewJSONLSink(*tracePath, 0)
+		if err != nil {
+			fatal(err)
+		}
+		reg := telemetry.New()
+		reg.SetSpanSink(traceSink)
+		analysis.SetTelemetry(reg)
+		lab.Telemetry = reg
+		lab.TraceCtx, rootSpan = telemetry.StartSpan(context.Background(), reg, "analyze.run")
+		rootSpan.SetAttr("exp", *exp)
+		rootSpan.SetAttrInt("parallel", int64(*parallel))
 	}
 	if *snapshotDir != "" {
 		// -parallel 1 promises the original direct-classify pipeline,
@@ -86,6 +107,17 @@ func main() {
 		}
 	}
 	outs, runErr := lab.RunMany(names)
+	if rootSpan != nil {
+		if runErr != nil {
+			rootSpan.SetAttr("error", runErr.Error())
+		}
+		rootSpan.End()
+		if err := traceSink.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "analyze: trace ledger:", err)
+		} else {
+			fmt.Fprintln(os.Stderr, "analyze: trace ledger →", *tracePath)
+		}
+	}
 	for i, out := range outs {
 		os.Stdout.Write(out)
 		if *outDir != "" {

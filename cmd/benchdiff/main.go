@@ -12,8 +12,9 @@
 //	benchdiff OLD.json NEW.json  # explicit pair
 //
 // Only benchmarks matching -filter are guarded (default: the
-// snapshot-codec, delta-codec and index suites — the repo's
-// perf-critical paths). Benchmarks present on one side only are
+// snapshot-codec, delta-codec and index suites plus the span-overhead
+// tiers — the repo's perf-critical paths and the tracing zero-cost
+// contract). Benchmarks present on one side only are
 // reported but never fail the run — machines and dates differ, the
 // gate is for regressions in what both runs measured. Unguarded
 // benchmarks appearing or disappearing between the runs are listed
@@ -59,7 +60,7 @@ type Delta struct {
 func main() {
 	dir := flag.String("dir", ".", "directory scanned for BENCH_*.json when files are not given")
 	threshold := flag.Float64("threshold", 0.20, "maximum tolerated ns/op growth (0.20 = +20%)")
-	filter := flag.String("filter", "^(SnapshotCodec|SnapshotStream|SnapshotDelta|SeriesAdvance|SeriesFullRebuild|Index)",
+	filter := flag.String("filter", "^(SnapshotCodec|SnapshotStream|SnapshotDelta|SeriesAdvance|SeriesFullRebuild|Index|SpanOverhead)",
 		"regexp selecting the guarded benchmarks (matched against the name without the Benchmark prefix)")
 	flag.Parse()
 

@@ -9,13 +9,16 @@
 //	        [-codec json|json.gz|gob|gob.gz|binary|mrt|delta] [-interval 100ms] [-retries 5]
 //	        [-partial] [-resume] [-checkpoint path] [-neighbor-parallel 1]
 //	        [-neighbor-retries 1] [-error-budget 0] [-request-timeout 30s]
-//	        [-metrics-addr :9100]
+//	        [-metrics-addr :9100] [-trace path|none]
 //
 // Every run records crawl telemetry: an end-of-run summary is logged
 // and the full registry is archived as <out>/telemetry.json next to
 // the snapshot. With -metrics-addr the same registry is additionally
 // served live on /metrics, /debug/vars and /debug/pprof while the
-// crawl runs.
+// crawl runs. Every run also writes a hierarchical trace ledger —
+// one span per crawl, neighbor and LG request — to <out>/trace.jsonl
+// (kept even when the crawl fails; -trace relocates it, -trace none
+// disables it). Inspect it with cmd/tracecat.
 //
 // -codec delta grows a snapshot chain in -out instead of standalone
 // files: the IXP's first day is stored as a full binary snapshot, and
@@ -58,11 +61,36 @@ func main() {
 	errorBudget := flag.Int("error-budget", 0, "consecutive neighbor failures before abandoning the LG (0 = unlimited)")
 	neighborParallel := flag.Int("neighbor-parallel", 1, "concurrent per-neighbor route crawls (1 = sequential; snapshots are identical either way)")
 	metricsAddr := flag.String("metrics-addr", "", "optional telemetry listen address serving /metrics, /debug/vars and /debug/pprof during the crawl")
+	tracePath := flag.String("trace", "", `trace ledger path (default <out>/trace.jsonl, "none" to disable)`)
 	flag.Parse()
 
 	reg := telemetry.New()
 	lgMetrics := lg.NewMetrics(reg)
 	colMetrics := collector.NewMetrics(reg)
+	// The trace ledger lives next to telemetry.json and, like it, is
+	// kept even when the crawl fails — the span tree is the post-mortem.
+	ledgerPath := *tracePath
+	if ledgerPath == "" {
+		ledgerPath = filepath.Join(*out, "trace.jsonl")
+	}
+	var traceSink *telemetry.JSONLSink
+	if ledgerPath != "none" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		sink, err := telemetry.NewJSONLSink(ledgerPath, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		traceSink = sink
+		reg.SetSpanSink(sink)
+	}
+	// fatal archives the trace ledger before exiting: log.Fatal calls
+	// os.Exit, so deferred closes never run on the failure path.
+	fatal := func(err error) {
+		archiveTrace(traceSink, ledgerPath)
+		log.Fatal(err)
+	}
 	if *metricsAddr != "" {
 		go func() {
 			log.Printf("telemetry on %s (/metrics, /debug/vars, /debug/pprof)", *metricsAddr)
@@ -79,7 +107,7 @@ func main() {
 		var err error
 		codec, err = parseCodec(*codecName)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 	}
 	client := lg.NewClient(*url, lg.ClientOptions{
@@ -115,7 +143,7 @@ func main() {
 		// errors abort.
 		ck, err := collector.ResumeCheckpoint(ckptPath, log.Printf)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		if ck != nil {
 			log.Printf("resuming from %s: %d neighbors done, %d routes", ckptPath, len(ck.Done), len(ck.Routes))
@@ -135,6 +163,10 @@ func main() {
 		log.Printf("telemetry archive: %v", terr)
 		telPath = ""
 	}
+	// Every span has ended by now (CollectWithOptions returned), so the
+	// ledger is complete; close it here so it survives a failed crawl.
+	archiveTrace(traceSink, ledgerPath)
+	traceSink = nil
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -172,6 +204,24 @@ func main() {
 	if telPath != "" {
 		log.Printf("telemetry archived → %s", telPath)
 	}
+}
+
+// archiveTrace flushes and closes the trace ledger, logging where it
+// landed (inspect it with `tracecat <path>`). Safe to call with a nil
+// sink and idempotent via the caller nilling traceSink after use.
+func archiveTrace(sink *telemetry.JSONLSink, path string) {
+	if sink == nil {
+		return
+	}
+	if err := sink.Close(); err != nil {
+		log.Printf("trace ledger: %v", err)
+		return
+	}
+	if n := sink.Dropped(); n > 0 {
+		log.Printf("trace ledger → %s (%d spans dropped by size cap)", path, n)
+		return
+	}
+	log.Printf("trace ledger → %s", path)
 }
 
 // saveDelta appends the snapshot to its IXP's delta chain in dir: the

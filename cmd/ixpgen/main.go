@@ -18,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -32,6 +33,7 @@ import (
 	"ixplight/internal/collector"
 	"ixplight/internal/dictionary"
 	"ixplight/internal/ixpgen"
+	"ixplight/internal/telemetry"
 )
 
 func main() {
@@ -45,7 +47,25 @@ func main() {
 	profilePath := flag.String("profile", "", "JSON file with a custom IXP profile (overrides -ixps)")
 	churn := flag.Float64("churn", 0,
 		"evolve each series day over day with this route-churn fraction instead of regenerating every day (0 = independent days; -codec delta implies 0.03)")
+	tracePath := flag.String("trace", "", "write a trace ledger for the run to this file (inspect with tracecat)")
 	flag.Parse()
+
+	// With -trace, generation is traced: one ixpgen.run root span with
+	// one ixpgen.ixp child per generated series.
+	var traceSink *telemetry.JSONLSink
+	var traceReg *telemetry.Registry
+	traceCtx := context.Background()
+	var rootSpan *telemetry.Span
+	if *tracePath != "" {
+		sink, err := telemetry.NewJSONLSink(*tracePath, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		traceSink = sink
+		traceReg = telemetry.New()
+		traceReg.SetSpanSink(sink)
+		traceCtx, rootSpan = telemetry.StartSpan(traceCtx, traceReg, "ixpgen.run")
+	}
 
 	var profiles []ixpgen.Profile
 	var err error
@@ -82,6 +102,9 @@ func main() {
 	start := time.Now()
 	files := 0
 	for _, p := range profiles {
+		_, sp := telemetry.StartSpan(traceCtx, traceReg, "ixpgen.ixp")
+		sp.SetAttr("ixp", p.IXP)
+		sp.SetAttrInt("days", int64(*days))
 		opts := ixpgen.TemporalOptions{
 			Seed: *seed, Scale: *scale, Days: *days, ValleyDays: valleys,
 		}
@@ -92,6 +115,8 @@ func main() {
 				log.Fatal(err)
 			}
 			files += n
+			sp.SetAttrInt("files", int64(n))
+			sp.End()
 			log.Printf("%s: %d evolved daily snapshots (churn %.3f)", p.IXP, *days, *churn)
 			continue
 		}
@@ -106,11 +131,22 @@ func main() {
 			}
 			files++
 		}
+		sp.SetAttrInt("files", int64(*days))
+		sp.End()
 		log.Printf("%s: %d daily snapshots", p.IXP, *days)
 	}
 
 	if err := writeDictionary(*out); err != nil {
 		log.Fatal(err)
+	}
+	if rootSpan != nil {
+		rootSpan.SetAttrInt("files", int64(files))
+		rootSpan.End()
+		if err := traceSink.Close(); err != nil {
+			log.Printf("trace ledger: %v", err)
+		} else {
+			log.Printf("trace ledger → %s", *tracePath)
+		}
 	}
 	log.Printf("dataset complete: %d snapshot files + dictionary.json in %s (%v)",
 		files, *out, time.Since(start).Round(time.Millisecond))

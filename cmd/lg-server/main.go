@@ -5,7 +5,7 @@
 //
 //	lg-server [-ixp DE-CIX] [-addr :8080] [-scale 0.02] [-seed 42]
 //	          [-flaky 0.0] [-admin] [-bgp :1790] [-metrics-addr :9100]
-//	          [-drain 5s]
+//	          [-drain 5s] [-trace file]
 //
 // With -bgp it additionally accepts real BGP sessions on that address:
 // peers that establish a session and announce routes appear in the LG
@@ -56,6 +56,7 @@ func main() {
 	admin := flag.Bool("admin", false, "mount /admin/flaky for runtime failure injection control")
 	bgpAddr := flag.String("bgp", "", "optional BGP listen address (e.g. :1790)")
 	metricsAddr := flag.String("metrics-addr", "", "optional telemetry listen address serving /metrics, /debug/vars and /debug/pprof (e.g. :9100)")
+	tracePath := flag.String("trace", "", "write a trace ledger to this file: one root span per served LG request")
 	drain := flag.Duration("drain", 5*time.Second, "graceful shutdown deadline for in-flight requests")
 	flag.Parse()
 
@@ -104,7 +105,8 @@ func main() {
 
 	var reg *telemetry.Registry
 	var telSrv *http.Server
-	if *metricsAddr != "" {
+	var traceSink *telemetry.JSONLSink
+	if *metricsAddr != "" || *tracePath != "" {
 		reg = telemetry.New()
 		// Register the whole pipeline's metric catalog, not just the
 		// server's own families: a scrape of a freshly started process
@@ -114,6 +116,17 @@ func main() {
 		collector.NewMetrics(reg)
 		analysis.SetTelemetry(reg)
 		handler = instrument(reg, handler)
+	}
+	if *tracePath != "" {
+		traceSink, err = telemetry.NewJSONLSink(*tracePath, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		reg.SetSpanSink(traceSink)
+		handler = traceRequests(reg, handler)
+		log.Printf("tracing requests → %s", *tracePath)
+	}
+	if *metricsAddr != "" {
 		telSrv = &http.Server{Addr: *metricsAddr, Handler: reg.Handler()}
 		go func() {
 			log.Printf("telemetry on %s (/metrics, /debug/vars, /debug/pprof)", *metricsAddr)
@@ -161,6 +174,13 @@ func main() {
 	if telSrv != nil {
 		telSrv.Close()
 	}
+	if traceSink != nil {
+		if err := traceSink.Close(); err != nil {
+			log.Printf("trace ledger: %v", err)
+		} else {
+			log.Printf("trace ledger → %s", *tracePath)
+		}
+	}
 	if reg != nil {
 		logTelemetrySummary(reg)
 	}
@@ -196,6 +216,24 @@ type statusRecorder struct {
 func (r *statusRecorder) WriteHeader(code int) {
 	r.code = code
 	r.ResponseWriter.WriteHeader(code)
+}
+
+// traceRequests wraps the LG handler so every served request becomes
+// a root span in the trace ledger (server-side counterpart of the
+// client's lg.request spans).
+func traceRequests(reg *telemetry.Registry, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, sp := telemetry.StartSpan(r.Context(), reg, "lg_server.request")
+		if sp == nil {
+			next.ServeHTTP(w, r)
+			return
+		}
+		sp.SetAttr("path", r.URL.Path)
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(rec, r.WithContext(ctx))
+		sp.SetAttrInt("code", int64(rec.code))
+		sp.End()
+	})
 }
 
 // instrument wraps the LG handler with server-side request metrics.

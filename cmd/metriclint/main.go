@@ -4,11 +4,18 @@
 // separated, and carrying the module prefix so dashboards can glob
 // ixplight_* across binaries.
 //
+// It also enforces the span naming rule: every trace span started by
+// a string literal passed to StartSpan (or a package's startSpan
+// helper) must match ^[a-z_]+(\.[a-z_]+)*$ — lowercase words joined
+// by dots, the dot separating hierarchy levels (collector.neighbor,
+// lg.request), so tracecat aggregates and ledger greps stay
+// predictable.
+//
 // It walks every non-test Go file, finds calls to the registry
 // constructors (Counter, CounterVec, Gauge, GaugeVec, Histogram,
-// HistogramVec) and checks their name argument. Exit status 1 when any
-// name violates the rule; the offending file:line is printed. Run via
-// `make vet`.
+// HistogramVec) and span starters and checks their name argument.
+// Exit status 1 when any name violates a rule; the offending
+// file:line is printed. Run via `make vet`.
 package main
 
 import (
@@ -25,6 +32,19 @@ import (
 )
 
 var namePattern = regexp.MustCompile(`^ixplight_[a-z_]+$`)
+
+// spanPattern is the span naming rule: lowercase words joined by
+// dots, each dot one hierarchy level.
+var spanPattern = regexp.MustCompile(`^[a-z_]+(\.[a-z_]+)*$`)
+
+// spanStarters are the functions whose first string-literal argument
+// is a span name: the package-level telemetry.StartSpan(ctx, reg,
+// name), the explicit-root Registry.StartSpan(name), and the nil-safe
+// startSpan(ctx, name) helpers the instrumented packages define.
+var spanStarters = map[string]bool{
+	"StartSpan": true,
+	"startSpan": true,
+}
 
 // constructors are the telemetry.Registry methods whose first argument
 // is a metric family name.
@@ -68,7 +88,28 @@ func main() {
 				return true
 			}
 			sel, ok := call.Fun.(*ast.SelectorExpr)
-			if !ok || !constructors[sel.Sel.Name] {
+			if !ok {
+				return true
+			}
+			if spanStarters[sel.Sel.Name] {
+				// The span name is the first string literal: the leading
+				// ctx and registry arguments never are.
+				for _, arg := range call.Args {
+					lit, ok := arg.(*ast.BasicLit)
+					if !ok || lit.Kind != token.STRING {
+						continue
+					}
+					name, err := strconv.Unquote(lit.Value)
+					if err == nil && !spanPattern.MatchString(name) {
+						fmt.Fprintf(os.Stderr, "%s: span name %q does not match %s\n",
+							fset.Position(lit.Pos()), name, spanPattern)
+						violations++
+					}
+					break
+				}
+				return true
+			}
+			if !constructors[sel.Sel.Name] {
 				return true
 			}
 			lit, ok := call.Args[0].(*ast.BasicLit)

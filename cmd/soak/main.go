@@ -7,7 +7,7 @@
 // Usage:
 //
 //	soak [-ixps 3] [-kills 2] [-rounds 1] [-seed 1] [-scale 0.004]
-//	     [-parallel 4] [-timeout 5m] [-v] [-checks]
+//	     [-parallel 4] [-timeout 5m] [-v] [-checks] [-trace path]
 //
 // Exit status is non-zero when any invariant fails. -v narrates the
 // phases; -checks prints every individual verdict, not just failures.
@@ -32,6 +32,7 @@ func main() {
 	flag.Int64Var(&cfg.Seed, "seed", cfg.Seed, "chaos and workload seed (same seed, same run)")
 	flag.Float64Var(&cfg.Scale, "scale", cfg.Scale, "workload scale")
 	flag.IntVar(&cfg.NeighborParallelism, "parallel", cfg.NeighborParallelism, "neighbor crawl parallelism")
+	flag.StringVar(&cfg.TracePath, "trace", "", "trace ledger path (default <tmpdir>/trace.jsonl, removed with the run directory)")
 	timeout := flag.Duration("timeout", 5*time.Minute, "overall run deadline")
 	verbose := flag.Bool("v", false, "narrate phases")
 	checks := flag.Bool("checks", false, "print every invariant verdict")
@@ -69,6 +70,9 @@ func main() {
 		report.Requests, report.Duration.Round(time.Millisecond))
 	for ixp, d := range report.Digests {
 		fmt.Printf("  %s %s\n", d[:16], ixp)
+	}
+	if cfg.TracePath != "" {
+		fmt.Printf("  trace ledger → %s\n", report.TracePath)
 	}
 	if len(failed) > 0 {
 		os.Exit(1)

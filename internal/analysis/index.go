@@ -302,6 +302,7 @@ func NewIndexWorkers(s *collector.Snapshot, scheme *dictionary.Scheme, workers i
 		sp := t.span("analysis.index_build")
 		sp.SetAttr("ixp", s.IXP)
 		sp.SetAttr("date", s.Date)
+		sp.SetAttr("source", "routes")
 		t0 := time.Now()
 		defer func() {
 			t.built(time.Since(t0))

@@ -74,7 +74,7 @@ func Collect(ctx context.Context, client *lg.Client, date string) (*Snapshot, er
 // snapshot to degrade.
 func CollectWithOptions(ctx context.Context, client *lg.Client, date string, opts CollectOptions) (snap *Snapshot, err error) {
 	m := opts.Metrics
-	sp := m.span("collector.collect")
+	ctx, sp := m.startSpan(ctx, "collector.collect")
 	defer func() {
 		switch {
 		case err != nil:
@@ -226,12 +226,13 @@ func CollectWithOptions(ctx context.Context, client *lg.Client, date string, opt
 func crawlNeighbor(ctx context.Context, client *lg.Client, asn uint32, retries int, m *Metrics) (routes []bgp.Route, attempts int, dur time.Duration, err error) {
 	m.workerStart()
 	defer m.workerDone()
-	sp := m.span("collector.neighbor")
+	ctx, sp := m.startSpan(ctx, "collector.neighbor")
 	sp.SetAttr("asn", fmt.Sprintf("%d", asn))
 	t0 := time.Now()
 	defer func() {
 		dur = time.Since(t0)
 		m.neighborCrawled(dur, attempts)
+		sp.SetAttrInt("attempts", int64(attempts))
 		if err != nil {
 			sp.SetAttr("error", err.Error())
 		}

@@ -1,6 +1,7 @@
 package collector
 
 import (
+	"context"
 	"time"
 
 	"ixplight/internal/telemetry"
@@ -57,12 +58,18 @@ func NewMetrics(reg *telemetry.Registry) *Metrics {
 	}
 }
 
-// span starts a trace span on the underlying registry (nil-safe).
-func (m *Metrics) span(name string) *telemetry.Span {
+// startSpan begins a trace span as a child of the context's active
+// span, returning the child context for the next layer down
+// (nil-safe, allocation-free when tracing is off). Crawl spans form a
+// tree this way: collector.collect parents every collector.neighbor,
+// which parents the LG client's lg.request spans — across the
+// parallel worker pool too, since each worker crawls with the collect
+// span's context.
+func (m *Metrics) startSpan(ctx context.Context, name string) (context.Context, *telemetry.Span) {
 	if m == nil {
-		return nil
+		return ctx, nil
 	}
-	return m.reg.StartSpan(name)
+	return telemetry.StartSpan(ctx, m.reg, name)
 }
 
 // now is the zero-cost clock: the zero time when instrumentation is

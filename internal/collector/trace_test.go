@@ -1,0 +1,136 @@
+package collector
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"ixplight/internal/lg"
+	"ixplight/internal/telemetry"
+)
+
+// TestCollectTraceTree: with the LG client and the collector sharing
+// one registry, a crawl produces a single trace shaped
+// collector.collect → collector.neighbor → lg.request — across the
+// parallel worker pool — and a flaked neighbor's request span carries
+// the retry evidence.
+func TestCollectTraceTree(t *testing.T) {
+	server := degradedFixture(t, []uint32{100, 200, 300, 400}, 3)
+	ts := httptest.NewServer(lg.Flaky(lg.NewServer(server), lg.FlakyOptions{
+		NeighborOutage: []uint32{200},
+	}))
+	defer ts.Close()
+
+	reg := telemetry.New()
+	sink := &telemetry.RecordingSink{}
+	reg.SetSpanSink(sink)
+	client := lg.NewClient(ts.URL, lg.ClientOptions{
+		MaxRetries:   2,
+		RetryBackoff: time.Millisecond,
+		MaxInFlight:  4,
+		Metrics:      lg.NewMetrics(reg),
+	})
+	snap, err := CollectWithOptions(context.Background(), client, "2021-10-04", CollectOptions{
+		Partial:             true,
+		NeighborParallelism: 4,
+		Metrics:             NewMetrics(reg),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !snap.Partial {
+		t.Fatal("AS200 outage did not degrade the snapshot")
+	}
+
+	spans := sink.Spans()
+	collects := sink.Named("collector.collect")
+	if len(collects) != 1 {
+		t.Fatalf("collect spans = %d, want 1", len(collects))
+	}
+	root := collects[0]
+	if root.Parent != 0 {
+		t.Fatalf("collect span has parent %v, want root", root.Parent)
+	}
+	neighborIDs := map[telemetry.SpanID]bool{}
+	for _, s := range sink.Named("collector.neighbor") {
+		if s.Trace != root.Trace {
+			t.Fatalf("neighbor span in trace %v, want %v", s.Trace, root.Trace)
+		}
+		if s.Parent != root.ID {
+			t.Fatalf("neighbor span parent %v, want the collect span %v", s.Parent, root.ID)
+		}
+		neighborIDs[s.ID] = true
+	}
+	if len(neighborIDs) != 4 {
+		t.Fatalf("neighbor spans = %d, want 4", len(neighborIDs))
+	}
+	underNeighbor, underCollect, retried := 0, 0, 0
+	for _, s := range sink.Named("lg.request") {
+		if s.Trace != root.Trace {
+			t.Fatalf("request span in trace %v, want %v", s.Trace, root.Trace)
+		}
+		switch {
+		case neighborIDs[s.Parent]:
+			underNeighbor++
+		case s.Parent == root.ID:
+			underCollect++ // status + neighbor summary
+		default:
+			t.Fatalf("request span parent %v is neither the crawl nor a neighbor", s.Parent)
+		}
+		for _, e := range s.Events {
+			if e.Name == "retry" {
+				retried++
+			}
+		}
+	}
+	if underCollect != 2 {
+		t.Errorf("requests parented by the crawl = %d, want 2 (status, neighbors)", underCollect)
+	}
+	if underNeighbor < 4 {
+		t.Errorf("requests parented by neighbors = %d, want >= 4", underNeighbor)
+	}
+	if retried == 0 {
+		t.Error("no retry events recorded despite the AS200 outage")
+	}
+	for _, s := range spans {
+		if s.Stop.Before(s.Start) {
+			t.Fatalf("span %s ends before it starts", s.Name)
+		}
+	}
+}
+
+// TestCollectSnapshotIdenticalWithTracing: tracing must observe, not
+// perturb — the same crawl with spans on and fully off encodes to
+// byte-identical snapshots.
+func TestCollectSnapshotIdenticalWithTracing(t *testing.T) {
+	server := degradedFixture(t, []uint32{100, 200, 300}, 5)
+	ts := httptest.NewServer(lg.NewServer(server))
+	defer ts.Close()
+
+	crawl := func(traced bool) []byte {
+		opts := CollectOptions{NeighborParallelism: 2}
+		copts := lg.ClientOptions{MaxInFlight: 2}
+		if traced {
+			reg := telemetry.New()
+			reg.SetSpanSink(&telemetry.RecordingSink{})
+			opts.Metrics = NewMetrics(reg)
+			copts.Metrics = lg.NewMetrics(reg)
+		}
+		client := lg.NewClient(ts.URL, copts)
+		snap, err := CollectWithOptions(context.Background(), client, "2021-10-04", opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf, err := json.Marshal(snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf
+	}
+	if on, off := crawl(true), crawl(false); !bytes.Equal(on, off) {
+		t.Fatalf("snapshot bytes differ with tracing on vs off:\non:  %.200s\noff: %.200s", on, off)
+	}
+}

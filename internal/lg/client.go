@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"ixplight/internal/bgp"
+	"ixplight/internal/telemetry"
 )
 
 // ClientOptions tunes the LG client's politeness and resilience.
@@ -185,23 +186,58 @@ func (c *Client) countWire() {
 // get fetches one endpoint into out, honouring the rate limit and
 // retrying transient failures (5xx, 429, transport errors, truncated
 // bodies) with full-jitter exponential backoff. A 429 carrying a
-// Retry-After header is honoured, capped at MaxRetryAfter.
-func (c *Client) get(ctx context.Context, path string, out any) error {
+// Retry-After header is honoured, capped at MaxRetryAfter. Each get is
+// one "lg.request" trace span — nested under whatever span the
+// context carries — recording the attempt count, every retry's cause
+// and wait as events, and the total time spent waiting to retry.
+func (c *Client) get(ctx context.Context, path string, out any) (err error) {
+	ctx, sp := c.m.startSpan(ctx, "lg.request")
+	if sp != nil {
+		sp.SetAttr("path", path)
+		attempts, totalWait := 0, time.Duration(0)
+		defer func() {
+			sp.SetAttrInt("attempts", int64(attempts))
+			if totalWait > 0 {
+				sp.SetAttrDuration("retry_wait", totalWait)
+			}
+			if err != nil {
+				sp.SetAttr("error", err.Error())
+			}
+			sp.End()
+		}()
+		err = c.getRetries(ctx, path, out, sp, &attempts, &totalWait)
+		return err
+	}
+	return c.getRetries(ctx, path, out, nil, nil, nil)
+}
+
+// getRetries is the retry loop behind get; sp, attempts and totalWait
+// are nil when tracing is off.
+func (c *Client) getRetries(ctx context.Context, path string, out any, sp *telemetry.Span, attempts *int, totalWait *time.Duration) error {
 	var lastErr error
 	backoff := c.opts.RetryBackoff
 	for attempt := 0; attempt <= c.opts.MaxRetries; attempt++ {
+		if attempts != nil {
+			*attempts = attempt + 1
+		}
 		if attempt > 0 {
 			wait := c.retryDelay(lastErr, &backoff)
-			if c.m != nil {
-				cause, kind := "other", "backoff"
-				var re *retryableError
-				if errors.As(lastErr, &re) {
-					cause = re.cause
-					if re.retryAfter > 0 {
-						kind = "retry_after"
-					}
+			cause, kind := "other", "backoff"
+			var re *retryableError
+			if errors.As(lastErr, &re) {
+				cause = re.cause
+				if re.retryAfter > 0 {
+					kind = "retry_after"
 				}
-				c.m.retry(cause, kind, wait)
+			}
+			c.m.retry(cause, kind, wait)
+			if sp != nil {
+				*totalWait += wait
+				sp.Event("retry",
+					telemetry.String("cause", cause),
+					telemetry.String("kind", kind),
+					telemetry.Int("attempt", int64(attempt)),
+					telemetry.Duration("wait", wait))
 			}
 			select {
 			case <-time.After(wait):
@@ -402,12 +438,22 @@ func (c *Client) Config(ctx context.Context) (*ConfigResponse, error) {
 }
 
 // ConfigRaw fetches the BIRD-style route-server configuration text.
-func (c *Client) ConfigRaw(ctx context.Context) (string, error) {
+func (c *Client) ConfigRaw(ctx context.Context) (text string, err error) {
 	if err := c.acquire(); err != nil {
 		return "", err
 	}
 	defer c.release()
 	defer c.m.callTimer("config_raw")()
+	ctx, sp := c.m.startSpan(ctx, "lg.request")
+	if sp != nil {
+		sp.SetAttr("path", "/api/v1/routeservers/rs1/config/raw")
+		defer func() {
+			if err != nil {
+				sp.SetAttr("error", err.Error())
+			}
+			sp.End()
+		}()
+	}
 	if err := c.throttle(ctx); err != nil {
 		return "", err
 	}

@@ -1,6 +1,7 @@
 package lg
 
 import (
+	"context"
 	"time"
 
 	"ixplight/internal/telemetry"
@@ -14,6 +15,7 @@ import (
 // inlined nil check, so the uninstrumented hot path allocates and
 // measures nothing (pinned by BenchmarkTelemetryOverhead).
 type Metrics struct {
+	reg          *telemetry.Registry     // span source (trace context propagation)
 	requests     *telemetry.Counter      // logical API calls
 	httpRequests *telemetry.Counter      // wire requests, incl. retries and pages
 	retries      *telemetry.CounterVec   // by failure cause
@@ -32,6 +34,7 @@ func NewMetrics(reg *telemetry.Registry) *Metrics {
 		return nil
 	}
 	return &Metrics{
+		reg: reg,
 		requests: reg.Counter("ixplight_lg_requests_total",
 			"Logical LG API calls (pagination and retries excluded)."),
 		httpRequests: reg.Counter("ixplight_lg_http_requests_total",
@@ -50,6 +53,17 @@ func NewMetrics(reg *telemetry.Registry) *Metrics {
 		callSeconds: reg.HistogramVec("ixplight_lg_call_seconds",
 			"Logical call latency by endpoint.", nil, "call"),
 	}
+}
+
+// startSpan begins a trace span as a child of the context's active
+// span (nil-safe, allocation-free when tracing is off). The LG
+// client's per-request spans nest under the collector's neighbor
+// spans this way, so one trace covers a whole crawl.
+func (m *Metrics) startSpan(ctx context.Context, name string) (context.Context, *telemetry.Span) {
+	if m == nil {
+		return ctx, nil
+	}
+	return telemetry.StartSpan(ctx, m.reg, name)
 }
 
 // callStarted records one admitted logical call.

@@ -1,6 +1,7 @@
 package report
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -64,6 +65,12 @@ type Lab struct {
 	// (ixplight_report_experiment_seconds) and emits a
 	// "report.experiment" span per Run.
 	Telemetry *telemetry.Registry
+	// TraceCtx, when set alongside Telemetry, parents every
+	// report.experiment span under the context's active trace span —
+	// cmd/analyze uses it to hang all experiments off one root
+	// "analyze.run" span so a whole -exp all run is a single trace.
+	// Nil means each experiment roots its own trace.
+	TraceCtx context.Context
 }
 
 // workers resolves the lab's worker budget.
@@ -111,7 +118,11 @@ func NewLabParallel(profiles []ixpgen.Profile, seed int64, scale float64, worker
 // Run executes one experiment by name, writing its paper-shaped output.
 func (l *Lab) Run(w io.Writer, name string) (err error) {
 	if l.Telemetry != nil {
-		sp := l.Telemetry.StartSpan("report.experiment")
+		ctx := l.TraceCtx
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		_, sp := telemetry.StartSpan(ctx, l.Telemetry, "report.experiment")
 		sp.SetAttr("experiment", name)
 		h := l.Telemetry.HistogramVec("ixplight_report_experiment_seconds",
 			"Experiment run time by name.", nil, "experiment").With(name)

@@ -40,6 +40,11 @@ type Config struct {
 	Dir string
 	// Date stamps the collected snapshots.
 	Date string
+	// TracePath is where the run's trace ledger is written (empty =
+	// <Dir>/trace.jsonl). Tracing is always on in a soak: every phase
+	// runs under one root "soak.phase" span, and after each phase the
+	// harness validates the ledger's shape (see checkLedger).
+	TracePath string
 	// Logf, when set, narrates the run.
 	Logf func(format string, args ...any)
 }
@@ -69,7 +74,9 @@ type Report struct {
 	// Requests is the total client-side HTTP request count across all
 	// phases.
 	Requests int
-	Duration time.Duration
+	// TracePath is where the run's trace ledger landed.
+	TracePath string
+	Duration  time.Duration
 }
 
 // OK reports whether every invariant held.
@@ -103,11 +110,17 @@ type harness struct {
 	colm   *collector.Metrics
 	report *Report
 
+	// trace ledger state: the sink every span lands in, its path, and
+	// how many ledger spans earlier phases already validated.
+	sink       *telemetry.JSONLSink
+	tracePath  string
+	ledgerSeen int
+
 	// observed totals for the final metrics reconciliation
-	httpRequests int
-	calls        int
-	memberErrors int
-	planNeighbors int
+	httpRequests       int
+	calls              int
+	memberErrors       int
+	planNeighbors      int
 	snapshotsByOutcome map[string]int
 	neighborOutcomes   int
 }
@@ -220,6 +233,21 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		snapshotsByOutcome: make(map[string]int),
 	}
 
+	// Every soak runs traced: a per-run ledger, validated after each
+	// phase, is itself one of the invariants under test.
+	h.tracePath = cfg.TracePath
+	if h.tracePath == "" {
+		h.tracePath = filepath.Join(cfg.Dir, "trace.jsonl")
+	}
+	sink, err := telemetry.NewJSONLSink(h.tracePath, 0)
+	if err != nil {
+		return nil, fmt.Errorf("soak: trace ledger: %w", err)
+	}
+	defer sink.Close()
+	h.sink = sink
+	reg.SetSpanSink(sink)
+	h.report.TracePath = h.tracePath
+
 	// Boot the fleet: real listeners on ephemeral ports.
 	for i := 0; i < cfg.IXPs; i++ {
 		sim, err := NewSimIXP(profiles[i], cfg.Seed+int64(i), cfg.Scale)
@@ -249,7 +277,10 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	// are the ground truth every later invariant compares against, and
 	// its deterministic shape feeds the schedule generator.
 	h.logf("phase 0: reference crawl (%d IXPs)", len(h.ixps))
-	refResults := collector.CollectAllWithOptions(ctx, h.targets(nil), cfg.Date, collector.MultiOptions{})
+	var refResults []collector.Result
+	h.phase(ctx, "reference", func(pctx context.Context) {
+		refResults = collector.CollectAllWithOptions(pctx, h.targets(nil), cfg.Date, collector.MultiOptions{})
+	})
 	refs := make([]*collector.Snapshot, len(h.ixps))
 	infos := make([]planInfo, len(h.ixps))
 	refServerTotals := make([]int, len(h.ixps))
@@ -348,10 +379,13 @@ func (h *harness) runRound(ctx context.Context, round int, chaos []IXPChaos, ref
 			return err
 		}
 	}
-	degResults := collector.CollectAllWithOptions(ctx, h.targets(func(i int, c *collector.CollectOptions) {
-		c.Partial = true
-		c.NeighborRetries = 1
-	}), cfg.Date, collector.MultiOptions{})
+	var degResults []collector.Result
+	h.phase(ctx, fmt.Sprintf("degraded-r%d", round), func(pctx context.Context) {
+		degResults = collector.CollectAllWithOptions(pctx, h.targets(func(i int, c *collector.CollectOptions) {
+			c.Partial = true
+			c.NeighborRetries = 1
+		}), cfg.Date, collector.MultiOptions{})
+	})
 	h.account(degResults)
 	for i, r := range degResults {
 		name := r.Target.Name
@@ -388,11 +422,14 @@ func (h *harness) runRound(ctx context.Context, round int, chaos []IXPChaos, ref
 			sim.ArmKill(chaos[i].KillAfter)
 		}
 	}
-	killResults := collector.CollectAllWithOptions(ctx, h.targets(func(i int, c *collector.CollectOptions) {
-		c.Partial = true
-		c.ErrorBudget = 3
-		c.CheckpointPath = ckptPath(i)
-	}), cfg.Date, collector.MultiOptions{})
+	var killResults []collector.Result
+	h.phase(ctx, fmt.Sprintf("kill-r%d", round), func(pctx context.Context) {
+		killResults = collector.CollectAllWithOptions(pctx, h.targets(func(i int, c *collector.CollectOptions) {
+			c.Partial = true
+			c.ErrorBudget = 3
+			c.CheckpointPath = ckptPath(i)
+		}), cfg.Date, collector.MultiOptions{})
+	})
 	h.account(killResults)
 	for i, r := range killResults {
 		name := r.Target.Name
@@ -427,6 +464,16 @@ func (h *harness) runRound(ctx context.Context, round int, chaos []IXPChaos, ref
 	// Phase 3: restart the killed servers and resume their crawls
 	// from the checkpoints.
 	h.logf("round %d phase 3: restart and resume", round)
+	return h.phaseErr(ctx, fmt.Sprintf("resume-r%d", round), func(pctx context.Context) error {
+		return h.resumeKilled(pctx, round, chaos, refResults, ckptPath)
+	})
+}
+
+// resumeKilled is phase 3's body: restart every killed server and
+// resume its crawl from the checkpoint, checking the resume
+// invariants per IXP.
+func (h *harness) resumeKilled(ctx context.Context, round int, chaos []IXPChaos, refResults []collector.Result, ckptPath func(int) string) error {
+	cfg := h.cfg
 	for i, sim := range h.ixps {
 		if chaos[i].KillAfter == 0 {
 			continue

@@ -1,0 +1,100 @@
+package soak
+
+import (
+	"context"
+	"fmt"
+
+	"ixplight/internal/telemetry"
+)
+
+// phase runs fn under one root "soak.phase" trace span and validates
+// the trace ledger once the phase is over. Everything a phase does —
+// multi-IXP collects, neighbor crawls, LG requests — carries the
+// phase span's context, so the ledger grows exactly one span tree per
+// phase.
+func (h *harness) phase(ctx context.Context, name string, fn func(context.Context)) {
+	h.phaseErr(ctx, name, func(pctx context.Context) error {
+		fn(pctx)
+		return nil
+	})
+}
+
+// phaseErr is phase for bodies that can fail; the ledger is validated
+// even when the body errors (a failing phase must still leave a
+// well-formed ledger behind).
+func (h *harness) phaseErr(ctx context.Context, name string, fn func(context.Context) error) error {
+	pctx, sp := telemetry.StartSpan(ctx, h.reg, "soak.phase")
+	sp.SetAttr("phase", name)
+	err := fn(pctx)
+	if err != nil {
+		sp.SetAttr("error", err.Error())
+	}
+	sp.End()
+	h.checkLedger(name)
+	return err
+}
+
+// checkLedger validates the spans the just-finished phase appended to
+// the trace ledger: the file parses (header version included), no
+// span was dropped by the size cap, every span finished no earlier
+// than it started, every non-root ParentID resolves to a span in the
+// ledger, and the phase emitted exactly one root — its own soak.phase
+// span. One CheckResult per phase.
+func (h *harness) checkLedger(phase string) {
+	if h.sink == nil {
+		return
+	}
+	fail := func(detail string) {
+		h.check(CheckResult{"trace-ledger", phase, false, detail})
+	}
+	if err := h.sink.Flush(); err != nil {
+		fail("flush: " + err.Error())
+		return
+	}
+	if n := h.sink.Dropped(); n > 0 {
+		fail(fmt.Sprintf("%d spans dropped by the ledger size cap", n))
+		return
+	}
+	led, err := telemetry.ReadLedger(h.tracePath)
+	if err != nil {
+		fail(err.Error())
+		return
+	}
+	if len(led.Spans) < h.ledgerSeen {
+		fail(fmt.Sprintf("ledger shrank: %d spans, %d already validated", len(led.Spans), h.ledgerSeen))
+		return
+	}
+	// Parents may finish after their children (a collect span ends
+	// after its neighbor spans), so resolution is checked against the
+	// whole ledger, roots only against this phase's segment.
+	ids := make(map[string]bool, len(led.Spans))
+	for i := range led.Spans {
+		ids[led.Spans[i].ID] = true
+	}
+	segment := led.Spans[h.ledgerSeen:]
+	h.ledgerSeen = len(led.Spans)
+	roots := 0
+	rootName := ""
+	for i := range segment {
+		s := &segment[i]
+		if s.End < s.Start {
+			fail(fmt.Sprintf("span %s (%s) ends %dns before it starts", s.ID, s.Name, s.Start-s.End))
+			return
+		}
+		if s.Root() {
+			roots++
+			rootName = s.Name
+			continue
+		}
+		if !ids[s.Parent] {
+			fail(fmt.Sprintf("span %s (%s) has unresolved parent %s", s.ID, s.Name, s.Parent))
+			return
+		}
+	}
+	if roots != 1 || rootName != "soak.phase" {
+		fail(fmt.Sprintf("%d root spans in phase segment (want exactly one soak.phase), %d spans total", roots, len(segment)))
+		return
+	}
+	h.check(CheckResult{"trace-ledger", phase, true,
+		fmt.Sprintf("%d spans, one root, all parents resolved", len(segment))})
+}

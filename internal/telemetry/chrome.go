@@ -1,0 +1,66 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one Chrome trace_event "complete" (ph=X) slice —
+// the subset of the catapult format Perfetto's legacy loader reads.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`  // microseconds
+	Dur  int64          `json:"dur"` // microseconds
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace exports span records as a Chrome trace_event JSON
+// document loadable in Perfetto (ui.perfetto.dev) or
+// chrome://tracing. Each trace gets its own thread track, so
+// concurrent traces (parallel neighbor crawls of a multi-IXP run)
+// render side by side; within a track the viewer nests slices by
+// their time ranges, which mirrors span parentage.
+func WriteChromeTrace(w io.Writer, spans []SpanRecord) error {
+	// Stable track assignment: traces in first-appearance order.
+	tids := make(map[string]int)
+	order := make([]string, 0)
+	for _, s := range spans {
+		if _, ok := tids[s.Trace]; !ok {
+			tids[s.Trace] = len(order) + 1
+			order = append(order, s.Trace)
+		}
+	}
+	events := make([]chromeEvent, 0, len(spans))
+	for _, s := range spans {
+		args := make(map[string]any, len(s.Attrs)+2)
+		args["trace"] = s.Trace
+		args["span"] = s.ID
+		for _, a := range s.Attrs {
+			args[a.Key] = a.Value
+		}
+		events = append(events, chromeEvent{
+			Name: s.Name,
+			Ph:   "X",
+			Ts:   s.Start / 1e3,
+			Dur:  (s.End - s.Start) / 1e3,
+			Pid:  1,
+			Tid:  tids[s.Trace],
+		})
+		events[len(events)-1].Args = args
+	}
+	// The viewer wants slices on one track sorted by start time.
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].Tid != events[j].Tid {
+			return events[i].Tid < events[j].Tid
+		}
+		return events[i].Ts < events[j].Ts
+	})
+	enc := json.NewEncoder(w)
+	return enc.Encode(struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}{events})
+}

@@ -1,0 +1,270 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// LedgerVersion is the trace ledger format version. It is written in
+// the ledger's header line and checked on read, so a consumer never
+// silently misreads records from a different era (pinned by the
+// golden-fixture test).
+const LedgerVersion = 1
+
+// ledgerKind is the header's format discriminator.
+const ledgerKind = "ixplight-trace"
+
+// ledgerHeader is the ledger's first line.
+type ledgerHeader struct {
+	V    int    `json:"v"`
+	Kind string `json:"kind"`
+}
+
+// RecordAttr is one attribute in ledger encoding. T is the AttrKind
+// name ("int", "bool", "float", "dur"), omitted for plain strings.
+type RecordAttr struct {
+	Key   string `json:"k"`
+	Value string `json:"v"`
+	T     string `json:"t,omitempty"`
+}
+
+// RecordEvent is one in-span event in ledger encoding; At is
+// UnixNano.
+type RecordEvent struct {
+	Name  string       `json:"name"`
+	At    int64        `json:"at"`
+	Attrs []RecordAttr `json:"attrs,omitempty"`
+}
+
+// SpanRecord is one completed span in ledger encoding. Start and End
+// are UnixNano; Parent is empty on root spans.
+type SpanRecord struct {
+	Trace  string        `json:"trace"`
+	ID     string        `json:"id"`
+	Parent string        `json:"parent,omitempty"`
+	Name   string        `json:"name"`
+	Start  int64         `json:"start"`
+	End    int64         `json:"end"`
+	Attrs  []RecordAttr  `json:"attrs,omitempty"`
+	Events []RecordEvent `json:"events,omitempty"`
+}
+
+// Root reports whether the record is a trace root.
+func (r *SpanRecord) Root() bool { return r.Parent == "" }
+
+// Duration is the record's elapsed time.
+func (r *SpanRecord) Duration() time.Duration { return time.Duration(r.End - r.Start) }
+
+// Attr returns the last value recorded for key ("" when absent).
+func (r *SpanRecord) Attr(key string) string {
+	for i := len(r.Attrs) - 1; i >= 0; i-- {
+		if r.Attrs[i].Key == key {
+			return r.Attrs[i].Value
+		}
+	}
+	return ""
+}
+
+var attrKindNames = map[AttrKind]string{
+	AttrInt:      "int",
+	AttrBool:     "bool",
+	AttrFloat:    "float",
+	AttrDuration: "dur",
+}
+
+func recordAttrs(attrs []Attr) []RecordAttr {
+	if len(attrs) == 0 {
+		return nil
+	}
+	out := make([]RecordAttr, len(attrs))
+	for i, a := range attrs {
+		out[i] = RecordAttr{Key: a.Key, Value: a.Value, T: attrKindNames[a.Kind]}
+	}
+	return out
+}
+
+// Record converts a completed span to its ledger encoding.
+func Record(s Span) SpanRecord {
+	rec := SpanRecord{
+		Trace: s.Trace.String(),
+		ID:    s.ID.String(),
+		Name:  s.Name,
+		Start: s.Start.UnixNano(),
+		End:   s.Stop.UnixNano(),
+		Attrs: recordAttrs(s.Attrs),
+	}
+	if s.Parent != 0 {
+		rec.Parent = s.Parent.String()
+	}
+	for _, e := range s.Events {
+		rec.Events = append(rec.Events, RecordEvent{
+			Name: e.Name, At: e.Time.UnixNano(), Attrs: recordAttrs(e.Attrs),
+		})
+	}
+	return rec
+}
+
+// JSONLSink is a buffered SpanSink writing a per-run trace ledger:
+// one header line followed by one JSON span record per line. The file
+// is size-capped — once maxBytes of spans are written, later spans
+// are counted in Dropped instead of growing the ledger without bound
+// (an 84-day crawl's neighbor spans add up). Emit is safe for
+// concurrent use; call Close (or at least Flush) before reading the
+// file.
+type JSONLSink struct {
+	mu      sync.Mutex
+	f       *os.File
+	w       *bufio.Writer
+	max     int64
+	written int64
+	dropped int64
+	err     error
+}
+
+// DefaultLedgerCap is the JSONLSink size cap used when NewJSONLSink
+// gets maxBytes <= 0 — generous for any realistic run, small enough
+// that a runaway span loop cannot fill a disk.
+const DefaultLedgerCap int64 = 256 << 20
+
+// NewJSONLSink creates (truncating) the ledger file at path and
+// writes its header line. maxBytes <= 0 applies DefaultLedgerCap.
+func NewJSONLSink(path string, maxBytes int64) (*JSONLSink, error) {
+	if maxBytes <= 0 {
+		maxBytes = DefaultLedgerCap
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	k := &JSONLSink{f: f, w: bufio.NewWriterSize(f, 64<<10), max: maxBytes}
+	hdr, _ := json.Marshal(ledgerHeader{V: LedgerVersion, Kind: ledgerKind})
+	k.w.Write(hdr)
+	k.w.WriteByte('\n')
+	k.written = int64(len(hdr)) + 1
+	return k, nil
+}
+
+// Emit implements SpanSink.
+func (k *JSONLSink) Emit(s Span) {
+	line, err := json.Marshal(Record(s))
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if err != nil {
+		k.dropped++
+		return
+	}
+	if k.err != nil || k.written+int64(len(line))+1 > k.max {
+		k.dropped++
+		return
+	}
+	if _, err := k.w.Write(line); err != nil {
+		k.err = err
+		k.dropped++
+		return
+	}
+	k.w.WriteByte('\n')
+	k.written += int64(len(line)) + 1
+}
+
+// Dropped reports how many spans the size cap (or a write error)
+// discarded.
+func (k *JSONLSink) Dropped() int64 {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.dropped
+}
+
+// Err reports the first write error, if any.
+func (k *JSONLSink) Err() error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.err
+}
+
+// Flush pushes buffered records to the file, so the ledger can be
+// read mid-run (the soak harness validates it after every phase).
+func (k *JSONLSink) Flush() error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if err := k.w.Flush(); err != nil && k.err == nil {
+		k.err = err
+	}
+	return k.err
+}
+
+// Close flushes and closes the ledger file.
+func (k *JSONLSink) Close() error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	ferr := k.w.Flush()
+	cerr := k.f.Close()
+	if k.err != nil {
+		return k.err
+	}
+	if ferr != nil {
+		return ferr
+	}
+	return cerr
+}
+
+// Ledger is one parsed trace ledger.
+type Ledger struct {
+	Version int
+	Spans   []SpanRecord
+}
+
+// ReadLedger parses the trace ledger at path.
+func ReadLedger(path string) (*Ledger, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	l, err := ParseLedger(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return l, nil
+}
+
+// ParseLedger parses a trace ledger stream: the header line is
+// required and its version must match LedgerVersion.
+func ParseLedger(r io.Reader) (*Ledger, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 16<<20)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("trace ledger: empty file")
+	}
+	var hdr ledgerHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil || hdr.Kind != ledgerKind {
+		return nil, fmt.Errorf("trace ledger: missing %q header line", ledgerKind)
+	}
+	if hdr.V != LedgerVersion {
+		return nil, fmt.Errorf("trace ledger: version %d, this build reads %d", hdr.V, LedgerVersion)
+	}
+	l := &Ledger{Version: hdr.V}
+	line := 1
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec SpanRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("trace ledger: line %d: %w", line, err)
+		}
+		l.Spans = append(l.Spans, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}

@@ -1,6 +1,8 @@
 package telemetry
 
 import (
+	"fmt"
+	"strconv"
 	"sync"
 	"time"
 )
@@ -27,27 +29,107 @@ func (r *Registry) SetSpanSink(s SpanSink) {
 	r.sink.Store(&sinkBox{sink: s})
 }
 
-// Attr is one span attribute.
+// TraceID identifies one trace: a tree of spans covering a whole run,
+// crawl or request. The zero value means "no trace".
+type TraceID uint64
+
+// SpanID identifies one span within a trace. The zero value marks a
+// root span's ParentID.
+type SpanID uint64
+
+// String renders the id as fixed-width hex (the ledger encoding).
+func (id TraceID) String() string { return fmt.Sprintf("%016x", uint64(id)) }
+
+// String renders the id as fixed-width hex (the ledger encoding).
+func (id SpanID) String() string { return fmt.Sprintf("%016x", uint64(id)) }
+
+// AttrKind tags how a span attribute's rendered Value should be
+// re-interpreted by consumers (tracecat, the Chrome exporter). The
+// zero value is AttrString, so untagged composite literals keep
+// meaning plain strings.
+type AttrKind uint8
+
+const (
+	AttrString AttrKind = iota
+	AttrInt
+	AttrBool
+	AttrFloat
+	AttrDuration
+)
+
+// Attr is one span attribute. Value always carries the rendered text;
+// Kind records the original type so aggregation tools need not guess.
 type Attr struct {
 	Key   string
 	Value string
+	Kind  AttrKind
 }
 
-// Span is one timed operation. Spans are cheap, manual, and
-// single-goroutine: start one with Registry.StartSpan, attach
-// attributes, call End. All methods are no-ops on a nil receiver, so
-// instrumented code never checks whether tracing is on.
-type Span struct {
+// String builds a string attribute.
+func String(key, value string) Attr { return Attr{Key: key, Value: value} }
+
+// Int builds an integer attribute.
+func Int(key string, v int64) Attr {
+	return Attr{Key: key, Value: strconv.FormatInt(v, 10), Kind: AttrInt}
+}
+
+// Bool builds a boolean attribute.
+func Bool(key string, v bool) Attr {
+	return Attr{Key: key, Value: strconv.FormatBool(v), Kind: AttrBool}
+}
+
+// Float builds a float attribute.
+func Float(key string, v float64) Attr {
+	return Attr{Key: key, Value: strconv.FormatFloat(v, 'g', -1, 64), Kind: AttrFloat}
+}
+
+// Duration builds a duration attribute (Value is time.Duration syntax,
+// re-parseable with time.ParseDuration).
+func Duration(key string, d time.Duration) Attr {
+	return Attr{Key: key, Value: d.String(), Kind: AttrDuration}
+}
+
+// Event is one timestamped point inside a span — a retry, a budget
+// trip, a checkpoint save — cheaper than a child span when there is no
+// duration to measure.
+type Event struct {
 	Name  string
-	Start time.Time
-	Stop  time.Time
+	Time  time.Time
 	Attrs []Attr
+}
+
+// spanState is the mutable part of a live span, shared by reference so
+// emitted copies stay plain data (no locks to copy).
+type spanState struct {
+	mu    sync.Mutex
+	ended bool
+}
+
+// Span is one timed operation in a trace. Start one with the package
+// StartSpan (context-propagating) or Registry.StartSpan (explicit
+// root), attach attributes and events, call End. All methods are
+// no-ops on a nil receiver, so instrumented code never checks whether
+// tracing is on. SetAttr, Event and End are safe to call concurrently;
+// End is idempotent — the first call emits, later ones do nothing.
+type Span struct {
+	Name   string
+	Trace  TraceID
+	ID     SpanID
+	Parent SpanID
+	Start  time.Time
+	Stop   time.Time
+	Attrs  []Attr
+	Events []Event
 
 	sink SpanSink
+	st   *spanState
 }
 
-// StartSpan begins a span. It returns nil — a no-op span — when the
-// registry is nil or no sink is installed.
+// StartSpan begins a root span with no context to inherit from — the
+// explicit form used by code that has no context.Context in reach
+// (the analysis package's cache hooks). It returns nil — a no-op
+// span — when the registry is nil, no sink is installed, or the
+// head-based sampler drops the new trace.
 func (r *Registry) StartSpan(name string) *Span {
 	if r == nil {
 		return nil
@@ -56,24 +138,77 @@ func (r *Registry) StartSpan(name string) *Span {
 	if box == nil {
 		return nil
 	}
-	return &Span{Name: name, Start: time.Now(), sink: box.sink}
+	if !r.sampleRoot() {
+		return nil
+	}
+	return newSpan(name, newTraceID(), 0, box.sink)
 }
 
-// SetAttr attaches one key/value attribute.
-func (s *Span) SetAttr(key, value string) {
-	if s != nil {
-		s.Attrs = append(s.Attrs, Attr{Key: key, Value: value})
+func newSpan(name string, trace TraceID, parent SpanID, sink SpanSink) *Span {
+	return &Span{
+		Name:   name,
+		Trace:  trace,
+		ID:     newSpanID(),
+		Parent: parent,
+		Start:  time.Now(),
+		sink:   sink,
+		st:     &spanState{},
 	}
 }
 
-// End stamps the span's stop time and emits it to the sink. Calling
-// End twice emits twice; don't.
+// SetAttr attaches one string attribute.
+func (s *Span) SetAttr(key, value string) { s.setAttr(Attr{Key: key, Value: value}) }
+
+// SetAttrInt attaches one integer attribute.
+func (s *Span) SetAttrInt(key string, v int64) { s.setAttr(Int(key, v)) }
+
+// SetAttrBool attaches one boolean attribute.
+func (s *Span) SetAttrBool(key string, v bool) { s.setAttr(Bool(key, v)) }
+
+// SetAttrDuration attaches one duration attribute.
+func (s *Span) SetAttrDuration(key string, d time.Duration) { s.setAttr(Duration(key, d)) }
+
+func (s *Span) setAttr(a Attr) {
+	if s == nil {
+		return
+	}
+	s.st.mu.Lock()
+	if !s.st.ended {
+		s.Attrs = append(s.Attrs, a)
+	}
+	s.st.mu.Unlock()
+}
+
+// Event records one timestamped in-span event.
+func (s *Span) Event(name string, attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.st.mu.Lock()
+	if !s.st.ended {
+		s.Events = append(s.Events, Event{Name: name, Time: time.Now(), Attrs: attrs})
+	}
+	s.st.mu.Unlock()
+}
+
+// End stamps the span's stop time and emits it to the sink. End is
+// idempotent and safe to race with SetAttr/Event from other
+// goroutines: exactly one emission happens, carrying every attribute
+// attached before it.
 func (s *Span) End() {
 	if s == nil {
 		return
 	}
+	s.st.mu.Lock()
+	if s.st.ended {
+		s.st.mu.Unlock()
+		return
+	}
+	s.st.ended = true
 	s.Stop = time.Now()
-	s.sink.Emit(*s)
+	rec := *s
+	s.st.mu.Unlock()
+	s.sink.Emit(rec)
 }
 
 // Duration is the span's elapsed time (0 on nil or before End).

@@ -35,6 +35,7 @@ type Registry struct {
 	families map[string]*family
 
 	sink atomic.Pointer[sinkBox]
+	smp  atomic.Pointer[sampler]
 }
 
 // New creates an empty registry.
