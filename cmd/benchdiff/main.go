@@ -12,9 +12,10 @@
 //	benchdiff OLD.json NEW.json  # explicit pair
 //
 // Only benchmarks matching -filter are guarded (default: the
-// snapshot-codec, delta-codec and index suites plus the span-overhead
-// tiers — the repo's perf-critical paths and the tracing zero-cost
-// contract). Benchmarks present on one side only are
+// snapshot-codec, delta-codec and index suites, the span-overhead
+// tiers, and the ixpd serving/load suites — the repo's perf-critical
+// paths, the tracing zero-cost contract, and the daemon's three-tier
+// serving pipeline). Benchmarks present on one side only are
 // reported but never fail the run — machines and dates differ, the
 // gate is for regressions in what both runs measured. Unguarded
 // benchmarks appearing or disappearing between the runs are listed
@@ -30,6 +31,7 @@ import (
 	"path/filepath"
 	"regexp"
 	"sort"
+	"strings"
 )
 
 // Result and Report mirror cmd/benchjson's schema.
@@ -57,11 +59,28 @@ type Delta struct {
 	Ratio    float64 // (new-old)/old
 }
 
+// guardedSuites are the benchmark name prefixes the default -filter
+// gates: regressions here fail `make check`.
+var guardedSuites = []string{
+	"SnapshotCodec", "SnapshotStream", "SnapshotDelta",
+	"SeriesAdvance", "SeriesFullRebuild", "Index", "SpanOverhead",
+	"IxpdServe", "IxpdBench",
+}
+
 func main() {
 	dir := flag.String("dir", ".", "directory scanned for BENCH_*.json when files are not given")
 	threshold := flag.Float64("threshold", 0.20, "maximum tolerated ns/op growth (0.20 = +20%)")
-	filter := flag.String("filter", "^(SnapshotCodec|SnapshotStream|SnapshotDelta|SeriesAdvance|SeriesFullRebuild|Index|SpanOverhead)",
+	filter := flag.String("filter", "^("+strings.Join(guardedSuites, "|")+")",
 		"regexp selecting the guarded benchmarks (matched against the name without the Benchmark prefix)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: benchdiff [flags] [OLD.json] [NEW.json]\n\nguarded suites (default -filter):\n")
+		for _, s := range guardedSuites {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %s\n", s)
+		}
+		fmt.Fprintf(flag.CommandLine.Output(), "\nflags:\n")
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 
 	re, err := regexp.Compile(*filter)

@@ -2,6 +2,7 @@ package main
 
 import (
 	"regexp"
+	"strings"
 	"testing"
 )
 
@@ -59,5 +60,25 @@ func TestCompareZeroBaseline(t *testing.T) {
 	deltas, _, _, _, _ := compare(rep(res("Index", 0)), rep(res("Index", 100)), guard)
 	if len(deltas) != 1 || deltas[0].Ratio != 0 {
 		t.Errorf("zero baseline must not divide: %+v", deltas)
+	}
+}
+
+// TestDefaultFilterGuardsIxpd pins the default gate over the daemon's
+// serving and load suites (and that the Index prefix does not
+// accidentally swallow them or vice versa).
+func TestDefaultFilterGuardsIxpd(t *testing.T) {
+	guard := regexp.MustCompile("^(" + strings.Join(guardedSuites, "|") + ")")
+	for _, name := range []string{
+		"IxpdServe/cold", "IxpdServe/warm", "IxpdServe/etag304", "IxpdBench",
+		"IndexFromColumns", "SpanOverhead/off",
+	} {
+		if !guard.MatchString(name) {
+			t.Errorf("default filter misses guarded suite %s", name)
+		}
+	}
+	for _, name := range []string{"LGCrawl", "Xipd", "ServeIxpd"} {
+		if guard.MatchString(name) {
+			t.Errorf("default filter over-matches %s", name)
+		}
 	}
 }

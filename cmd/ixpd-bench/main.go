@@ -1,0 +1,133 @@
+// Command ixpd-bench load-tests an ixpd daemon through the three
+// phases its serving pipeline is engineered around:
+//
+//	cold  — every distinct query computed for the first time
+//	warm  — identical queries answered from the pre-marshaled cache
+//	etag  — If-None-Match revalidation, answered 304 with zero recompute
+//
+// Usage:
+//
+//	ixpd-bench [-url http://127.0.0.1:8080] [-c 8] [-n 2000] [-q 64]
+//	           [-seed 42] [-mix experiments:4,as:3,community:2,series:1,meta:1]
+//	           [-json]
+//
+// The query universe is derived from the daemon's /v1/meta samples
+// and fully determined by -seed, so two runs against the same dataset
+// issue identical request streams. Cold numbers are only cold against
+// a freshly started daemon.
+//
+// Without -url it self-hosts: an in-process daemon over the synthetic
+// lab (-ixps/-scale/-seed-data) on an ephemeral loopback port, so the
+// full cold/warm/etag story runs from one command with no setup.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"ixplight/internal/ixpd"
+	"ixplight/internal/ixpgen"
+)
+
+func main() {
+	url := flag.String("url", "", "daemon base URL (empty = self-host a synthetic daemon)")
+	concurrency := flag.Int("c", 8, "concurrent load workers")
+	requests := flag.Int("n", 2000, "requests per warm/etag phase")
+	queries := flag.Int("q", 64, "distinct query universe size")
+	seed := flag.Int64("seed", 42, "query mix seed")
+	mix := flag.String("mix", "", "endpoint class weights (default experiments:4,as:3,community:2,series:1,meta:1)")
+	ixps := flag.String("ixps", "DE-CIX,AMS-IX", "self-host: IXP profiles (big4, all, or names)")
+	scale := flag.Float64("scale", 0.01, "self-host: synthetic workload scale")
+	seedData := flag.Int64("seed-data", 42, "self-host: synthetic generation seed")
+	asJSON := flag.Bool("json", false, "emit the full result as JSON")
+	flag.Parse()
+
+	base := *url
+	if base == "" {
+		profiles, err := selectProfiles(*ixps)
+		if err != nil {
+			fatal(err)
+		}
+		srv := ixpd.New(ixpd.Config{
+			Profiles:       profiles,
+			Seed:           *seedData,
+			Scale:          *scale,
+			ReloadInterval: -1,
+		})
+		t0 := time.Now()
+		if err := srv.Load(); err != nil {
+			fatal(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fatal(err)
+		}
+		httpSrv := &http.Server{Handler: srv.Handler()}
+		go httpSrv.Serve(ln)
+		defer httpSrv.Close()
+		base = "http://" + ln.Addr().String()
+		fmt.Fprintf(os.Stderr, "self-hosted daemon on %s (loaded in %v)\n", base, time.Since(t0).Round(time.Millisecond))
+	}
+
+	res, err := ixpd.RunLoad(ixpd.LoadOptions{
+		BaseURL:     base,
+		Concurrency: *concurrency,
+		Requests:    *requests,
+		Queries:     *queries,
+		Seed:        *seed,
+		Mix:         *mix,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fatal(err)
+		}
+	} else {
+		fmt.Printf("%d distinct queries, %d workers\n", res.Queries, *concurrency)
+		fmt.Printf("%-6s %9s %9s %8s %10s %10s %10s\n", "phase", "requests", "errors", "qps", "p50", "p95", "p99")
+		for _, p := range res.Phases {
+			fmt.Printf("%-6s %9d %9d %8.0f %10v %10v %10v\n",
+				p.Phase, p.Requests, p.Errors, p.QPS,
+				p.P50.Round(time.Microsecond), p.P95.Round(time.Microsecond), p.P99.Round(time.Microsecond))
+		}
+	}
+	for _, p := range res.Phases {
+		if p.Errors > 0 {
+			fatal(fmt.Errorf("phase %s: %d errors", p.Phase, p.Errors))
+		}
+	}
+}
+
+func selectProfiles(spec string) ([]ixpgen.Profile, error) {
+	switch spec {
+	case "big4":
+		return ixpgen.BigFour(), nil
+	case "all":
+		return ixpgen.Profiles(), nil
+	}
+	var out []ixpgen.Profile
+	for _, name := range strings.Split(spec, ",") {
+		p := ixpgen.ProfileByName(strings.TrimSpace(name))
+		if p == nil {
+			return nil, fmt.Errorf("unknown IXP %q", name)
+		}
+		out = append(out, *p)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ixpd-bench:", err)
+	os.Exit(1)
+}

@@ -15,6 +15,10 @@
 // -admin it mounts /admin/flaky, the runtime failure-injection control
 // the soak harness uses to flip chaos on and off mid-crawl.
 //
+// /healthz (liveness) and /readyz (readiness: workload populated and
+// listener bound) are always mounted, outside both the chaos switch
+// and the request instrumentation.
+//
 // The server shuts down gracefully on SIGINT/SIGTERM: in-flight LG
 // requests drain (up to -drain), the BGP and telemetry listeners
 // close, and a final telemetry summary is logged.
@@ -33,6 +37,7 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -145,11 +150,24 @@ func main() {
 		log.Printf("admin endpoint on %s/admin/flaky", *addr)
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: handler}
+	// Health probes mount outermost — like /admin, they bypass chaos
+	// and instrumentation. Readiness flips once the listener is bound
+	// (the workload populated above), so an orchestrator can tell
+	// "starting" from "serving".
+	var ready atomic.Bool
+	handler = mountHealth(handler, &ready)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	ready.Store(true)
+
+	srv := &http.Server{Handler: handler}
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("looking glass for %s on %s", *ixp, *addr)
-		errc <- srv.ListenAndServe()
+		log.Printf("looking glass for %s on %s", *ixp, ln.Addr())
+		errc <- srv.Serve(ln)
 	}()
 
 	select {

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMountHealth(t *testing.T) {
+	var ready atomic.Bool
+	var passedThrough atomic.Int64
+	next := http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		passedThrough.Add(1)
+		w.WriteHeader(http.StatusTeapot)
+	})
+	h := mountHealth(next, &ready)
+
+	get := func(path string) (int, string) {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		return rec.Code, rec.Body.String()
+	}
+
+	// Liveness holds before readiness does.
+	if code, body := get("/healthz"); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz: %d %q", code, body)
+	}
+	if code, body := get("/readyz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "starting") {
+		t.Fatalf("/readyz before ready: %d %q", code, body)
+	}
+	ready.Store(true)
+	if code, body := get("/readyz"); code != http.StatusOK || !strings.Contains(body, "ready") {
+		t.Fatalf("/readyz after ready: %d %q", code, body)
+	}
+
+	// The probes never reach the wrapped LG handler; everything else
+	// does.
+	if passedThrough.Load() != 0 {
+		t.Fatalf("probe requests leaked into the LG handler")
+	}
+	if code, _ := get("/api/v1/lg"); code != http.StatusTeapot {
+		t.Fatalf("passthrough: %d, want the wrapped handler's code", code)
+	}
+	if passedThrough.Load() != 1 {
+		t.Fatalf("passthrough count %d, want 1", passedThrough.Load())
+	}
+}

@@ -1,0 +1,157 @@
+package ixpd
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"ixplight/internal/ixpgen"
+)
+
+// benchServer loads a small synthetic daemon once per benchmark.
+func benchServer(b *testing.B) *Server {
+	b.Helper()
+	s := New(Config{
+		Profiles:       ixpgen.BigFour()[:1],
+		Seed:           7,
+		Scale:          0.005,
+		ReloadInterval: -1,
+	})
+	if err := s.Load(); err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+func benchGet(h http.Handler, path, etag string) int {
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	if etag != "" {
+		req.Header.Set("If-None-Match", etag)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec.Code
+}
+
+// BenchmarkIxpdServe pins the three tiers of the serving pipeline.
+// cold forces a fresh compute per request (a unique query parameter
+// defeats every reuse layer), warm replays one cached query, and
+// etag304 revalidates it. The cold/warm gap is the cache win the
+// daemon exists for; TestWarmColdSpeedup pins its floor.
+func BenchmarkIxpdServe(b *testing.B) {
+	b.Run("cold", func(b *testing.B) {
+		s := benchServer(b)
+		h := s.Handler()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if code := benchGet(h, fmt.Sprintf("/v1/experiments/summary?i=%d", i), ""); code != http.StatusOK {
+				b.Fatalf("code %d", code)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		s := benchServer(b)
+		h := s.Handler()
+		benchGet(h, "/v1/experiments/summary", "") // prime the cache
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if code := benchGet(h, "/v1/experiments/summary", ""); code != http.StatusOK {
+				b.Fatalf("code %d", code)
+			}
+		}
+	})
+	b.Run("etag304", func(b *testing.B) {
+		s := benchServer(b)
+		h := s.Handler()
+		req := httptest.NewRequest(http.MethodGet, "/v1/experiments/summary", nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		etag := rec.Header().Get("ETag")
+		if etag == "" {
+			b.Fatal("no etag to revalidate")
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if code := benchGet(h, "/v1/experiments/summary", etag); code != http.StatusNotModified {
+				b.Fatalf("code %d", code)
+			}
+		}
+	})
+}
+
+// BenchmarkIxpdBench runs the full cold/warm/etag load generator over
+// real sockets against a freshly loaded daemon per iteration, and
+// reports each phase's throughput and tail latency as benchmark
+// metrics (benchjson archives them into BENCH_*.json).
+func BenchmarkIxpdBench(b *testing.B) {
+	var last *LoadResult
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s := benchServer(b)
+		ts := httptest.NewServer(s.Handler())
+		b.StartTimer()
+		res, err := RunLoad(LoadOptions{
+			BaseURL:     ts.URL,
+			Concurrency: 8,
+			Requests:    400,
+			Queries:     32,
+			Seed:        42,
+		})
+		b.StopTimer()
+		ts.Close()
+		b.StartTimer()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	for _, p := range last.Phases {
+		if p.Errors > 0 {
+			b.Fatalf("phase %s: %d errors", p.Phase, p.Errors)
+		}
+		b.ReportMetric(p.QPS, p.Phase+"_qps")
+		b.ReportMetric(float64(p.P50), p.Phase+"_p50-ns")
+		b.ReportMetric(float64(p.P95), p.Phase+"_p95-ns")
+		b.ReportMetric(float64(p.P99), p.Phase+"_p99-ns")
+	}
+}
+
+// TestWarmColdSpeedup pins the acceptance floor: warm identical-query
+// throughput at least 10× the cold first-request path. The real gap is
+// orders of magnitude (a cold experiment query runs the experiment and
+// builds indexes; a warm one writes cached bytes), so 10× holds with
+// huge margin even under the race detector.
+func TestWarmColdSpeedup(t *testing.T) {
+	s := testServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	res, err := RunLoad(LoadOptions{
+		BaseURL:     ts.URL,
+		Concurrency: 4,
+		Requests:    200,
+		Queries:     24,
+		Seed:        42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, warm, etag := res.Phase("cold"), res.Phase("warm"), res.Phase("etag")
+	if cold == nil || warm == nil || etag == nil {
+		t.Fatalf("missing phases: %+v", res.Phases)
+	}
+	for _, p := range res.Phases {
+		if p.Errors > 0 {
+			t.Fatalf("phase %s: %d errors (statuses %v)", p.Phase, p.Errors, p.Statuses)
+		}
+	}
+	if warm.Statuses[http.StatusOK] != warm.Requests {
+		t.Fatalf("warm statuses: %v", warm.Statuses)
+	}
+	if etag.Statuses[http.StatusNotModified] != etag.Requests {
+		t.Fatalf("etag statuses: %v, want all 304", etag.Statuses)
+	}
+	if warm.QPS < 10*cold.QPS {
+		t.Fatalf("warm %.0f qps < 10× cold %.0f qps", warm.QPS, cold.QPS)
+	}
+}

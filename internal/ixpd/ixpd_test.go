@@ -1,0 +1,360 @@
+package ixpd
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ixplight/internal/analysis"
+	"ixplight/internal/ixpgen"
+	"ixplight/internal/telemetry"
+)
+
+// testServer builds and loads a small synthetic server.
+func testServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	if cfg.Profiles == nil {
+		cfg.Profiles = ixpgen.BigFour()[:1]
+	}
+	if cfg.Scale == 0 {
+		cfg.Scale = 0.005
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 7
+	}
+	cfg.ReloadInterval = -1
+	s := New(cfg)
+	if err := s.Load(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// doGet drives one request through the handler and returns the
+// response.
+func doGet(t *testing.T, h http.Handler, path, ifNoneMatch string) (code int, etag, body string) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	if ifNoneMatch != "" {
+		req.Header.Set("If-None-Match", ifNoneMatch)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec.Code, rec.Header().Get("ETag"), rec.Body.String()
+}
+
+func TestEndpoints(t *testing.T) {
+	s := testServer(t, Config{Profiles: ixpgen.BigFour()[:2]})
+	h := s.Handler()
+
+	var meta MetaDoc
+	code, etag, body := doGet(t, h, "/v1/meta", "")
+	if code != http.StatusOK || etag == "" {
+		t.Fatalf("/v1/meta: code %d etag %q", code, etag)
+	}
+	if err := json.Unmarshal([]byte(body), &meta); err != nil {
+		t.Fatal(err)
+	}
+	if len(meta.IXPs) != 2 || meta.Digest == "" || len(meta.Experiments) == 0 {
+		t.Fatalf("meta: %+v", meta)
+	}
+	ixp := meta.IXPs[0]
+	if len(ixp.SampleASNs) == 0 || len(ixp.SampleCommunities) == 0 {
+		t.Fatalf("meta has no query samples: %+v", ixp)
+	}
+	if meta.Source != "synthetic" {
+		t.Fatalf("source = %q, want synthetic", meta.Source)
+	}
+
+	code, _, body = doGet(t, h, "/v1/experiments/summary", "")
+	if code != http.StatusOK || !strings.Contains(body, `"output"`) {
+		t.Fatalf("experiment: code %d body %.80s", code, body)
+	}
+	if code, _, _ := doGet(t, h, "/v1/experiments/nonsense", ""); code != http.StatusNotFound {
+		t.Fatalf("unknown experiment: code %d, want 404", code)
+	}
+
+	var asDoc ASDoc
+	code, _, body = doGet(t, h, fmt.Sprintf("/v1/as/%d", ixp.SampleASNs[0]), "")
+	if code != http.StatusOK {
+		t.Fatalf("/v1/as: code %d", code)
+	}
+	if err := json.Unmarshal([]byte(body), &asDoc); err != nil {
+		t.Fatal(err)
+	}
+	if len(asDoc.IXPs) != 2 || !asDoc.IXPs[0].Member || asDoc.IXPs[0].V4.Routes == 0 {
+		t.Fatalf("as doc: %+v", asDoc)
+	}
+	code, _, body = doGet(t, h, fmt.Sprintf("/v1/as/%d?ixp=%s", ixp.SampleASNs[0], ixp.IXP), "")
+	if code != http.StatusOK {
+		t.Fatalf("/v1/as?ixp: code %d", code)
+	}
+	if err := json.Unmarshal([]byte(body), &asDoc); err != nil {
+		t.Fatal(err)
+	}
+	if len(asDoc.IXPs) != 1 || asDoc.IXPs[0].IXP != ixp.IXP {
+		t.Fatalf("filtered as doc: %+v", asDoc)
+	}
+	for _, bad := range []string{"/v1/as/notanumber", "/v1/as/1?ixp=BOGUS"} {
+		if code, _, _ := doGet(t, h, bad, ""); code != http.StatusNotFound {
+			t.Fatalf("%s: code %d, want 404", bad, code)
+		}
+	}
+
+	var commDoc CommunityDoc
+	code, _, body = doGet(t, h, "/v1/community/"+ixp.SampleCommunities[0], "")
+	if code != http.StatusOK {
+		t.Fatalf("/v1/community: code %d", code)
+	}
+	if err := json.Unmarshal([]byte(body), &commDoc); err != nil {
+		t.Fatal(err)
+	}
+	if len(commDoc.IXPs) != 2 || !commDoc.IXPs[0].Known || commDoc.IXPs[0].V4.ActionInstances == 0 {
+		t.Fatalf("community doc: %+v", commDoc)
+	}
+	if code, _, _ := doGet(t, h, "/v1/community/junk", ""); code != http.StatusNotFound {
+		t.Fatalf("bad community: code %d, want 404", code)
+	}
+
+	var series SeriesDoc
+	code, _, body = doGet(t, h, "/v1/series/"+ixp.IXP, "")
+	if code != http.StatusOK {
+		t.Fatalf("/v1/series: code %d", code)
+	}
+	if err := json.Unmarshal([]byte(body), &series); err != nil {
+		t.Fatal(err)
+	}
+	if len(series.Days) == 0 || series.Days[0].V4.Routes == 0 {
+		t.Fatalf("series doc: %+v", series)
+	}
+	if code, _, _ := doGet(t, h, "/v1/series/BOGUS", ""); code != http.StatusNotFound {
+		t.Fatalf("unknown series ixp: code %d, want 404", code)
+	}
+}
+
+func TestETagRevalidation(t *testing.T) {
+	s := testServer(t, Config{})
+	h := s.Handler()
+
+	code, etag, body := doGet(t, h, "/v1/experiments/summary", "")
+	if code != http.StatusOK || etag == "" || body == "" {
+		t.Fatalf("cold: code %d etag %q", code, etag)
+	}
+	if !strings.HasPrefix(etag, `"`) || !strings.HasSuffix(etag, `"`) {
+		t.Fatalf("etag %q is not a quoted entity tag", etag)
+	}
+
+	// Revalidation answers 304 with no body — and, per the derived-tag
+	// design, without touching compute.
+	pre := s.Computes()
+	code, etag2, body := doGet(t, h, "/v1/experiments/summary", etag)
+	if code != http.StatusNotModified || body != "" {
+		t.Fatalf("revalidation: code %d body %q", code, body)
+	}
+	if etag2 != etag {
+		t.Fatalf("304 etag %q != original %q", etag2, etag)
+	}
+	if got := s.Computes(); got != pre {
+		t.Fatalf("304 triggered a compute (%d -> %d)", pre, got)
+	}
+
+	// Different queries get different tags under the same dataset.
+	_, other, _ := doGet(t, h, "/v1/meta", "")
+	if other == etag {
+		t.Fatalf("distinct queries share etag %q", etag)
+	}
+
+	// A stale tag (different dataset digest) recomputes.
+	code, _, _ = doGet(t, h, "/v1/experiments/summary", `"deadbeef-0000000000000000"`)
+	if code != http.StatusOK {
+		t.Fatalf("stale etag: code %d, want 200", code)
+	}
+}
+
+func TestEtagMatches(t *testing.T) {
+	const tag = `"abc-123"`
+	for _, tc := range []struct {
+		header string
+		want   bool
+	}{
+		{tag, true},
+		{`W/` + tag, true},
+		{`"other", ` + tag, true},
+		{"*", true},
+		{`"other"`, false},
+		{"", false},
+	} {
+		if got := etagMatches(tc.header, tag); got != tc.want {
+			t.Errorf("etagMatches(%q) = %v, want %v", tc.header, got, tc.want)
+		}
+	}
+}
+
+func TestCacheKeyCanonical(t *testing.T) {
+	a := httptest.NewRequest(http.MethodGet, "/v1/as/1?ixp=DE-CIX&fam=v6", nil)
+	b := httptest.NewRequest(http.MethodGet, "/v1/as/1?fam=v6&ixp=DE-CIX", nil)
+	if cacheKey(a) != cacheKey(b) {
+		t.Fatalf("query order changes cache key: %q vs %q", cacheKey(a), cacheKey(b))
+	}
+	c := httptest.NewRequest(http.MethodGet, "/v1/as/1?ixp=AMS-IX", nil)
+	if cacheKey(a) == cacheKey(c) {
+		t.Fatalf("distinct queries share cache key %q", cacheKey(a))
+	}
+}
+
+func TestReadinessGating(t *testing.T) {
+	s := New(Config{Profiles: ixpgen.BigFour()[:1], Scale: 0.005, ReloadInterval: -1})
+	h := s.Handler()
+	if code, _, _ := doGet(t, h, "/healthz", ""); code != http.StatusOK {
+		t.Fatalf("healthz before load: %d", code)
+	}
+	if code, _, body := doGet(t, h, "/readyz", ""); code != http.StatusServiceUnavailable || !strings.Contains(body, "loading") {
+		t.Fatalf("readyz before load: %d %q", code, body)
+	}
+	if code, _, _ := doGet(t, h, "/v1/meta", ""); code != http.StatusServiceUnavailable {
+		t.Fatalf("API before load: %d, want 503", code)
+	}
+	if err := s.Load(); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, body := doGet(t, h, "/readyz", ""); code != http.StatusOK || !strings.Contains(body, "ready") {
+		t.Fatalf("readyz after load: %d %q", code, body)
+	}
+}
+
+// TestCoalescing is the acceptance contract: N concurrent identical
+// cold requests trigger exactly one response computation and exactly
+// one classified-index build between them.
+func TestCoalescing(t *testing.T) {
+	reg := telemetry.New()
+	analysis.SetTelemetry(reg)
+	defer analysis.SetTelemetry(nil)
+
+	s := testServer(t, Config{Telemetry: reg})
+	h := s.Handler()
+
+	const n = 16
+	var (
+		start sync.WaitGroup
+		done  sync.WaitGroup
+		mu    sync.Mutex
+	)
+	codes := make(map[int]int)
+	bodies := make(map[string]int)
+	start.Add(1)
+	done.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer done.Done()
+			start.Wait()
+			code, _, body := doGet(t, h, "/v1/as/64500?ixp="+s.cfg.Profiles[0].IXP, "")
+			mu.Lock()
+			codes[code]++
+			bodies[body]++
+			mu.Unlock()
+		}()
+	}
+	start.Done()
+	done.Wait()
+
+	if codes[http.StatusOK] != n {
+		t.Fatalf("statuses: %v, want %d× 200", codes, n)
+	}
+	if len(bodies) != 1 {
+		t.Fatalf("%d distinct bodies for identical requests", len(bodies))
+	}
+	if got := s.Computes(); got != 1 {
+		t.Fatalf("%d computes for %d identical concurrent requests, want 1", got, n)
+	}
+	var builds, followers int64
+	for name, v := range reg.Snapshot() {
+		n, ok := v.(int64)
+		if !ok {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(name, "ixplight_analysis_index_builds_total"):
+			builds += n
+		case name == "ixplight_ixpd_coalesced_total" || name == "ixplight_ixpd_cache_hits_total":
+			followers += n
+		}
+	}
+	if builds != 1 {
+		t.Fatalf("%d index builds, want 1", builds)
+	}
+	if followers != n-1 {
+		t.Fatalf("coalesced+cache-hit = %d, want %d", followers, n-1)
+	}
+}
+
+// TestAdmissionTimeout: with every admission slot taken, a compute
+// flight resolves 503 without ever running its computation.
+func TestAdmissionTimeout(t *testing.T) {
+	s := testServer(t, Config{MaxInFlight: 1, RequestTimeout: 30 * time.Millisecond})
+	s.sem <- struct{}{} // occupy the only slot
+	defer func() { <-s.sem }()
+
+	fl := &flight{done: make(chan struct{})}
+	s.runFlight(s.gen.Load(), "/test", fl, func(*generation) (any, error) {
+		t.Error("compute ran despite admission timeout")
+		return nil, nil
+	})
+	<-fl.done
+	if fl.status != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", fl.status)
+	}
+	if s.Computes() != 0 {
+		t.Fatalf("compute counted despite rejection")
+	}
+}
+
+// TestWaiterTimeout: a request whose coalesced flight outlives the
+// request timeout is answered 504; the detached compute still finishes
+// and fills the cache for the next requester.
+func TestWaiterTimeout(t *testing.T) {
+	s := testServer(t, Config{RequestTimeout: 50 * time.Millisecond})
+	release := make(chan struct{})
+	req := httptest.NewRequest(http.MethodGet, "/slow", nil)
+	rec := httptest.NewRecorder()
+	s.serveCached(rec, req, "test", func(*generation) (any, error) {
+		<-release
+		return map[string]string{"ok": "true"}, nil
+	})
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("code %d, want 504", rec.Code)
+	}
+	close(release)
+
+	// The flight completes detached and lands in the cache.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, ok := s.gen.Load().cache.get("/slow"); ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("detached compute never filled the cache")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestRespCacheBound(t *testing.T) {
+	c := newRespCache(3)
+	for i := 0; i < 5; i++ {
+		c.put(fmt.Sprintf("k%d", i), []byte{byte(i)})
+	}
+	if c.len() != 3 {
+		t.Fatalf("len %d, want 3", c.len())
+	}
+	if _, ok := c.get("k0"); ok {
+		t.Fatal("oldest entry survived eviction")
+	}
+	if _, ok := c.get("k4"); !ok {
+		t.Fatal("newest entry missing")
+	}
+}

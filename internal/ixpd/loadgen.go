@@ -1,0 +1,324 @@
+package ixpd
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+)
+
+// The load generator. It drives a running ixpd over HTTP through the
+// three phases the serving pipeline is engineered around — cold
+// (every query computed), warm (identical queries answered from the
+// pre-marshaled cache) and etag (If-None-Match revalidation, 304s) —
+// and reports throughput and latency quantiles per phase. The query
+// mix is seeded and derived from /v1/meta's samples, so two runs
+// against the same dataset issue byte-identical request streams.
+
+// LoadOptions parameterises RunLoad.
+type LoadOptions struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Client issues the requests. Nil = a fresh http.Client.
+	Client *http.Client
+	// Concurrency is the worker count per phase. 0 = 8.
+	Concurrency int
+	// Requests is the request count for the warm and etag phases (the
+	// cold phase issues each distinct query exactly once). 0 = 2000.
+	Requests int
+	// Queries bounds the distinct query universe. 0 = 64.
+	Queries int
+	// Seed fixes the query mix and pick order.
+	Seed int64
+	// Mix weights the endpoint classes, e.g.
+	// "experiments:4,as:3,community:2,series:1,meta:1" (the default).
+	Mix string
+}
+
+func (o *LoadOptions) concurrency() int {
+	if o.Concurrency > 0 {
+		return o.Concurrency
+	}
+	return 8
+}
+
+func (o *LoadOptions) requests() int {
+	if o.Requests > 0 {
+		return o.Requests
+	}
+	return 2000
+}
+
+func (o *LoadOptions) queries() int {
+	if o.Queries > 0 {
+		return o.Queries
+	}
+	return 64
+}
+
+// PhaseResult is one load phase's outcome.
+type PhaseResult struct {
+	Phase    string        `json:"phase"`
+	Requests int           `json:"requests"`
+	Errors   int           `json:"errors"`
+	Statuses map[int]int   `json:"statuses"`
+	Elapsed  time.Duration `json:"elapsed_ns"`
+	QPS      float64       `json:"qps"`
+	P50      time.Duration `json:"p50_ns"`
+	P95      time.Duration `json:"p95_ns"`
+	P99      time.Duration `json:"p99_ns"`
+}
+
+// LoadResult is a full cold/warm/etag run.
+type LoadResult struct {
+	BaseURL string        `json:"base_url"`
+	Seed    int64         `json:"seed"`
+	Queries int           `json:"queries"`
+	Phases  []PhaseResult `json:"phases"`
+}
+
+// Phase returns the named phase result, or nil.
+func (r *LoadResult) Phase(name string) *PhaseResult {
+	for i := range r.Phases {
+		if r.Phases[i].Phase == name {
+			return &r.Phases[i]
+		}
+	}
+	return nil
+}
+
+// RunLoad drives the three phases against a freshly started daemon.
+// The cold numbers are only cold if nothing queried the daemon first.
+func RunLoad(o LoadOptions) (*LoadResult, error) {
+	client := o.Client
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	queries, err := buildQueries(client, o)
+	if err != nil {
+		return nil, err
+	}
+	res := &LoadResult{BaseURL: o.BaseURL, Seed: o.Seed, Queries: len(queries)}
+
+	// Cold: each distinct query exactly once, capturing its ETag for
+	// the revalidation phase. One request per query index, so the
+	// etags slice needs no lock.
+	etags := make([]string, len(queries))
+	cold := runPhase(client, o.BaseURL, "cold", queries, sequentialPicks(len(queries)), o.concurrency(),
+		func(i int, resp *http.Response) { etags[i] = resp.Header.Get("ETag") })
+	res.Phases = append(res.Phases, cold)
+
+	rng := rand.New(rand.NewSource(o.Seed))
+	warmPicks := randomPicks(rng, o.requests(), len(queries))
+	res.Phases = append(res.Phases,
+		runPhase(client, o.BaseURL, "warm", queries, warmPicks, o.concurrency(), nil))
+
+	etagPicks := randomPicks(rng, o.requests(), len(queries))
+	for i := range queries {
+		queries[i].etag = etags[i]
+	}
+	res.Phases = append(res.Phases,
+		runPhase(client, o.BaseURL, "etag", queries, etagPicks, o.concurrency(), nil))
+	return res, nil
+}
+
+// query is one generated request.
+type query struct {
+	url  string
+	etag string // set for the etag phase only
+}
+
+// buildQueries derives the seeded query universe from /v1/meta.
+func buildQueries(client *http.Client, o LoadOptions) ([]query, error) {
+	resp, err := client.Get(o.BaseURL + "/v1/meta")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("GET /v1/meta: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	var meta MetaDoc
+	if err := json.NewDecoder(resp.Body).Decode(&meta); err != nil {
+		return nil, fmt.Errorf("decode /v1/meta: %w", err)
+	}
+	if len(meta.IXPs) == 0 {
+		return nil, fmt.Errorf("dataset has no IXPs")
+	}
+
+	weights, err := parseMix(o.Mix)
+	if err != nil {
+		return nil, err
+	}
+	// Candidate pools per endpoint class, in meta order so the seed
+	// fully determines the universe.
+	pools := map[string][]string{"meta": {"/v1/meta"}}
+	for _, name := range meta.Experiments {
+		pools["experiments"] = append(pools["experiments"], "/v1/experiments/"+name)
+	}
+	for _, ixp := range meta.IXPs {
+		pools["series"] = append(pools["series"], "/v1/series/"+ixp.IXP)
+		for _, asn := range ixp.SampleASNs {
+			pools["as"] = append(pools["as"], fmt.Sprintf("/v1/as/%d?ixp=%s", asn, ixp.IXP))
+		}
+		for _, c := range ixp.SampleCommunities {
+			pools["community"] = append(pools["community"], "/v1/community/"+c)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(o.Seed))
+	classes := make([]string, 0, 16)
+	for class, w := range weights {
+		if len(pools[class]) == 0 {
+			continue
+		}
+		for i := 0; i < w; i++ {
+			classes = append(classes, class)
+		}
+	}
+	sort.Strings(classes) // map order must not leak into the stream
+	if len(classes) == 0 {
+		return nil, fmt.Errorf("mix %q selects no populated endpoint class", o.Mix)
+	}
+	seen := make(map[string]bool)
+	queries := make([]query, 0, o.queries())
+	for attempts := 0; len(queries) < o.queries() && attempts < o.queries()*20; attempts++ {
+		pool := pools[classes[rng.Intn(len(classes))]]
+		u := pool[rng.Intn(len(pool))]
+		if seen[u] {
+			continue
+		}
+		seen[u] = true
+		queries = append(queries, query{url: u})
+	}
+	return queries, nil
+}
+
+// parseMix parses "class:weight,..." into weights.
+func parseMix(mix string) (map[string]int, error) {
+	if mix == "" {
+		mix = "experiments:4,as:3,community:2,series:1,meta:1"
+	}
+	weights := make(map[string]int)
+	for _, part := range strings.Split(mix, ",") {
+		class, ws, ok := strings.Cut(strings.TrimSpace(part), ":")
+		w := 1
+		if ok {
+			if _, err := fmt.Sscanf(ws, "%d", &w); err != nil || w < 0 {
+				return nil, fmt.Errorf("bad mix weight %q", part)
+			}
+		}
+		switch class {
+		case "experiments", "as", "community", "series", "meta":
+			weights[class] = w
+		default:
+			return nil, fmt.Errorf("unknown mix class %q", class)
+		}
+	}
+	return weights, nil
+}
+
+func sequentialPicks(n int) []int {
+	picks := make([]int, n)
+	for i := range picks {
+		picks[i] = i
+	}
+	return picks
+}
+
+func randomPicks(rng *rand.Rand, n, universe int) []int {
+	picks := make([]int, n)
+	for i := range picks {
+		picks[i] = rng.Intn(universe)
+	}
+	return picks
+}
+
+// runPhase issues picks over queries with workers goroutines. Each
+// request writes its latency and status into its own slot, so the hot
+// path takes no locks.
+func runPhase(client *http.Client, baseURL, name string, queries []query, picks []int, workers int, onResp func(int, *http.Response)) PhaseResult {
+	durations := make([]time.Duration, len(picks))
+	statuses := make([]int, len(picks))
+	nextCh := make(chan int, workers)
+	go func() {
+		for i := range picks {
+			nextCh <- i
+		}
+		close(nextCh)
+	}()
+
+	done := make(chan struct{})
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := range nextCh {
+				pick := picks[i]
+				q := queries[pick]
+				req, err := http.NewRequest(http.MethodGet, baseURL+q.url, nil)
+				if err != nil {
+					continue
+				}
+				if q.etag != "" {
+					req.Header.Set("If-None-Match", q.etag)
+				}
+				t0 := time.Now()
+				resp, err := client.Do(req)
+				durations[i] = time.Since(t0)
+				if err != nil {
+					continue // status 0 counts as an error
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				statuses[i] = resp.StatusCode
+				if onResp != nil && resp.StatusCode == http.StatusOK {
+					onResp(pick, resp)
+				}
+			}
+		}()
+	}
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	elapsed := time.Since(start)
+
+	return summarize(name, durations, statuses, elapsed)
+}
+
+func summarize(name string, durations []time.Duration, statuses []int, elapsed time.Duration) PhaseResult {
+	res := PhaseResult{
+		Phase:    name,
+		Requests: len(durations),
+		Statuses: make(map[int]int),
+		Elapsed:  elapsed,
+	}
+	for _, code := range statuses {
+		res.Statuses[code]++
+		if code != http.StatusOK && code != http.StatusNotModified {
+			res.Errors++
+		}
+	}
+	if elapsed > 0 {
+		res.QPS = float64(len(durations)) / elapsed.Seconds()
+	}
+	sorted := append([]time.Duration(nil), durations...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	res.P50 = quantile(sorted, 0.50)
+	res.P95 = quantile(sorted, 0.95)
+	res.P99 = quantile(sorted, 0.99)
+	return res
+}
+
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}

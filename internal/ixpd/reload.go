@@ -1,0 +1,78 @@
+package ixpd
+
+import (
+	"context"
+	"time"
+
+	"ixplight/internal/telemetry"
+)
+
+// Hot reload: new collection days land in the snapshot directory as
+// files (the collectors write them atomically), so the daemon polls
+// the directory signature instead of depending on an fsnotify-style
+// watcher — portable, allocation-free between changes, and immune to
+// editor/rename event storms. On a signature change the whole dataset
+// loads as a fresh generation off the request path; only the final
+// pointer swap is shared with serving.
+
+// WatchReload polls the dataset directory until ctx is cancelled,
+// reloading on every signature change. It returns immediately when
+// the server has no snapshot directory or polling is disabled
+// (ReloadInterval < 0).
+func (s *Server) WatchReload(ctx context.Context) {
+	if s.cfg.SnapshotDir == "" || s.cfg.reloadInterval() < 0 {
+		return
+	}
+	t := time.NewTicker(s.cfg.reloadInterval())
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if _, err := s.Reload(); err != nil {
+				s.cfg.logf("ixpd: reload: %v", err)
+			}
+		}
+	}
+}
+
+// Reload compares the dataset directory against the serving
+// generation and, when it changed, loads and installs a fresh
+// generation. It reports whether a swap happened. Serving is never
+// blocked: requests keep answering from the old generation for the
+// whole load, and requests already holding the old pointer finish on
+// it after the swap.
+func (s *Server) Reload() (swapped bool, err error) {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	cur := s.gen.Load()
+	if cur == nil {
+		return false, nil // initial Load has not run
+	}
+	sig, err := dirSignature(s.cfg.SnapshotDir)
+	if err != nil {
+		s.met.reloads.With("error").Inc()
+		return false, err
+	}
+	if sig == cur.sig {
+		return false, nil
+	}
+	_, sp := telemetry.StartSpan(context.Background(), s.cfg.Telemetry, "ixpd.reload")
+	gen, err := s.buildGeneration()
+	if err != nil {
+		s.met.reloads.With("error").Inc()
+		if sp != nil {
+			sp.SetAttr("error", err.Error())
+			sp.End()
+		}
+		return false, err
+	}
+	s.install(gen)
+	s.met.reloads.With("ok").Inc()
+	if sp != nil {
+		sp.SetAttrInt("generation", int64(gen.id))
+		sp.End()
+	}
+	return true, nil
+}

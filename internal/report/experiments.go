@@ -86,11 +86,12 @@ func NewLab(profiles []ixpgen.Profile, seed int64, scale float64) (*Lab, error) 
 	return NewLabParallel(profiles, seed, scale, 0)
 }
 
-// NewLabParallel is NewLab with an explicit worker budget: the
-// per-IXP workload generation fans out across the pool. Generation is
-// seeded per profile, so the lab is identical for any worker count.
-func NewLabParallel(profiles []ixpgen.Profile, seed int64, scale float64, workers int) (*Lab, error) {
-	lab := &Lab{
+// NewLabShell builds a Lab without generating any workload — the
+// constructor for callers that immediately replace the snapshots via
+// LoadSnapshotDir. The serving daemon reloads datasets through this
+// path, so a reload pays snapshot decode, never synthetic generation.
+func NewLabShell(profiles []ixpgen.Profile, seed int64, scale float64, workers int) *Lab {
+	return &Lab{
 		Profiles:  profiles,
 		Snapshots: make(map[string]*collector.Snapshot, len(profiles)),
 		Registry:  asdb.Default(),
@@ -98,6 +99,13 @@ func NewLabParallel(profiles []ixpgen.Profile, seed int64, scale float64, worker
 		Scale:     scale,
 		Parallel:  workers,
 	}
+}
+
+// NewLabParallel is NewLab with an explicit worker budget: the
+// per-IXP workload generation fans out across the pool. Generation is
+// seeded per profile, so the lab is identical for any worker count.
+func NewLabParallel(profiles []ixpgen.Profile, seed int64, scale float64, workers int) (*Lab, error) {
+	lab := NewLabShell(profiles, seed, scale, workers)
 	snaps := make([]*collector.Snapshot, len(profiles))
 	if _, err := runPool(len(profiles), lab.workers(), func(i int) error {
 		w, err := ixpgen.Generate(profiles[i], ixpgen.Options{Seed: seed, Scale: scale})

@@ -43,6 +43,9 @@ func (l *Lab) LoadSnapshotDir(dir string) error {
 	for _, e := range entries {
 		switch {
 		case e.IsDir():
+		case strings.HasPrefix(e.Name(), "."):
+			// AtomicWrite stages dot-prefixed temp files in the same
+			// directory; a loader racing a collector must not decode one.
 		case strings.HasSuffix(e.Name(), collector.DeltaExt):
 			deltaFiles = append(deltaFiles, e.Name())
 		default:
